@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerates every table and figure at the recorded budget (see
+# EXPERIMENTS.md). Takes several minutes.
+experiments:
+	$(GO) run ./cmd/experiments -n 400000 all
+	$(GO) run ./cmd/experiments -n 200000 ablations ext-rob
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/memhog
+	$(GO) run ./examples/dvmbudget
+	$(GO) run ./examples/profiling
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,261 @@
+// Package visasim's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (one benchmark per artefact — see DESIGN.md's
+// experiment index) plus throughput micro-benchmarks for the substrates.
+//
+// The figure benchmarks report the headline quantities as custom metrics
+// (avf-reduction, ipc-change, pve, …) so `go test -bench` doubles as a
+// compact reproduction report. Absolute wall-clock numbers measure the
+// simulator, not the simulated machine.
+package visasim
+
+import (
+	"testing"
+
+	"visasim/internal/ace"
+	"visasim/internal/config"
+	"visasim/internal/core"
+	"visasim/internal/experiments"
+	"visasim/internal/inject"
+	"visasim/internal/pipeline"
+	"visasim/internal/trace"
+	"visasim/internal/uarch"
+	"visasim/internal/workload"
+)
+
+// benchBudget keeps `go test -bench=.` affordable; cmd/experiments uses
+// larger budgets for the recorded EXPERIMENTS.md runs.
+const benchBudget = 60_000
+
+func params() experiments.Params { return experiments.Params{Budget: benchBudget} }
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var iq, rob float64
+		for ci := 0; ci < 3; ci++ {
+			iq += r.AVF[ci][0] / 3
+			rob += r.AVF[ci][1] / 3
+		}
+		b.ReportMetric(100*iq, "iq-avf-%")
+		b.ReportMetric(100*rob, "rob-avf-%")
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanLen, "mean-rql")
+		b.ReportMetric(r.MeanACEPct, "ready-ace-%")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Average, "accuracy-%")
+		b.ReportMetric(100*r.SquashedInclusive, "squashed-acc-%")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.AvgAVFReduction(2), "opt2-avf-cut-%")
+		b.ReportMetric(100*r.AvgIPCChange(2), "opt2-ipc-change-%")
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.AvgAVFReduction(), "opt2-avf-cut-%")
+		b.ReportMetric(100*r.AvgIPCChange(), "opt2-ipc-change-%")
+	}
+}
+
+func benchDVM(b *testing.B, run func(experiments.Params) (*experiments.Fig8Result, error)) {
+	for i := 0; i < b.N; i++ {
+		r, err := run(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var before, after float64
+		for ci := 0; ci < 3; ci++ {
+			before += 100 * r.PVEBase[ci][2] / 3 // 0.5*MaxAVF column
+			after += 100 * r.PVEDVM[ci][2] / 3
+		}
+		b.ReportMetric(before, "pve-base-%")
+		b.ReportMetric(after, "pve-dvm-%")
+	}
+}
+
+func BenchmarkFig8(b *testing.B) { benchDVM(b, experiments.Fig8) }
+func BenchmarkFig9(b *testing.B) { benchDVM(b, experiments.Fig9) }
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var open, dyn float64
+		for ci := 0; ci < 3; ci++ {
+			for fi := range r.Fracs {
+				open += 100 * r.PVE[2][ci][fi] // visa+opt2
+				dyn += 100 * r.PVE[4][ci][fi]  // dvm-dynamic
+			}
+		}
+		n := float64(3 * len(r.Fracs))
+		b.ReportMetric(open/n, "pve-opt2-%")
+		b.ReportMetric(dyn/n, "pve-dvm-%")
+	}
+}
+
+func BenchmarkAblationOracleTags(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationOracleTags(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((r.Profiled[0]+r.Profiled[1]+r.Profiled[2])/3, "tags-norm-avf")
+		b.ReportMetric((r.Oracle[0]+r.Oracle[1]+r.Oracle[2])/3, "oracle-norm-avf")
+	}
+}
+
+func BenchmarkAblationTcache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationTcache(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.NormIPC[2], "t16-norm-ipc")
+		b.ReportMetric(r.NormIPC[len(r.NormIPC)-1], "tinf-norm-ipc")
+	}
+}
+
+func BenchmarkAblationIQSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationIQSize(params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AVF[len(r.AVF)-1]/r.AVF[0], "avf-128-over-32")
+	}
+}
+
+func BenchmarkFaultInjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		proc := newBenchProcessor(b, workload.Mixes()[0].Benchmarks[:])
+		c, err := inject.Run(proc, inject.Options{
+			Instructions:     benchBudget,
+			StrikesPerKCycle: 400,
+			Seed:             uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*c.EmpiricalAVF(), "empirical-avf-%")
+		b.ReportMetric(100*c.MeasuredAVF, "accounted-avf-%")
+	}
+}
+
+// --- substrate micro-benchmarks -------------------------------------------
+
+// BenchmarkSimulatorThroughput measures simulated cycles per second on the
+// CPU group A workload: the figure that bounds every experiment's cost.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		proc := newBenchProcessor(b, workload.Mixes()[0].Benchmarks[:])
+		b.StartTimer()
+		res := proc.Run()
+		b.ReportMetric(float64(res.Cycles), "cycles/op")
+		b.ReportMetric(float64(res.TotalCommits()), "instrs/op")
+	}
+}
+
+func BenchmarkTraceExecutor(b *testing.B) {
+	w := workload.MustGet("gcc")
+	prog, err := w.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := trace.NewExecutor(prog, 1, 0)
+	var d trace.DynInst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.Next(&d)
+	}
+}
+
+func BenchmarkACEAnalyzer(b *testing.B) {
+	w := workload.MustGet("gcc")
+	prog, err := w.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := trace.NewExecutor(prog, 1, 0)
+	an := ace.New(ace.DefaultWindow, func(uint64, bool) {})
+	var d trace.DynInst
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exec.Next(&d)
+		an.Retire(&d)
+	}
+}
+
+func BenchmarkProgramGeneration(b *testing.B) {
+	w := workload.MustGet("gcc")
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newBenchProcessor(b *testing.B, names []string) *pipeline.Processor {
+	b.Helper()
+	streams := make([]*trace.Stream, len(names))
+	for i, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof, err := core.ProfileFor(w, benchBudget+8192, ace.DefaultWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := w.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof.Apply(prog)
+		streams[i] = trace.NewStream(trace.NewExecutor(prog, w.Params.Seed, i), prof.Bits)
+	}
+	proc, err := pipeline.New(pipeline.Params{
+		Machine:         config.Default(),
+		Scheduler:       uarch.SchedOldestFirst,
+		Policy:          pipeline.PolicyICOUNT,
+		Streams:         streams,
+		MaxInstructions: benchBudget,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return proc
+}

@@ -1,0 +1,180 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments [-n budget] [-workers N] [targets...]
+//
+// Targets: fig1 fig2 fig5 fig6 fig8 fig9 fig10 table1 table2 table3 all
+// (default: all). The shapes — not the absolute values — are the
+// reproduction target; EXPERIMENTS.md records the comparison against the
+// paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"visasim/internal/experiments"
+)
+
+func main() {
+	var (
+		budget  = flag.Uint64("n", experiments.DefaultBudget, "instructions per simulation")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		csvDir  = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	)
+	flag.Parse()
+
+	p := experiments.Params{Budget: *budget, Workers: *workers}
+	targets := flag.Args()
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
+		targets = []string{"table2", "table3", "fig1", "fig2", "table1",
+			"fig5", "fig6", "fig8", "fig9", "fig10"}
+	}
+
+	for _, tgt := range targets {
+		start := time.Now()
+		out, csv, err := run(tgt, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", tgt, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *csvDir != "" && csv != nil {
+			if err := writeCSV(*csvDir, tgt, csv); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", tgt, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", tgt, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// csvWriter is satisfied by the figure results that have flat CSV forms.
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+func writeCSV(dir, target string, c csvWriter) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, target+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := c.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(target string, p experiments.Params) (string, csvWriter, error) {
+	switch target {
+	case "fig1":
+		r, err := experiments.Fig1(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), r, nil
+	case "fig2":
+		r, err := experiments.Fig2(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), r, nil
+	case "fig5":
+		r, err := experiments.Fig5(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), r, nil
+	case "fig6":
+		r, err := experiments.Fig6(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), r, nil
+	case "fig8":
+		r, err := experiments.Fig8(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), r, nil
+	case "fig9":
+		r, err := experiments.Fig9(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), r, nil
+	case "fig10":
+		r, err := experiments.Fig10(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), r, nil
+	case "table1":
+		r, err := experiments.Table1(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), r, nil
+	case "table2":
+		return experiments.Table2(), nil, nil
+	case "table3":
+		return experiments.Table3(), nil, nil
+	case "ext-rob":
+		r, err := experiments.ExtensionROBDVM(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), nil, err
+	case "ablations":
+		var b strings.Builder
+		or, err := experiments.AblationOracleTags(p)
+		if err != nil {
+			return "", nil, err
+		}
+		b.WriteString(or.String() + "\n")
+		tc, err := experiments.AblationTcache(p)
+		if err != nil {
+			return "", nil, err
+		}
+		b.WriteString(tc.String() + "\n")
+		iq, err := experiments.AblationIQSize(p)
+		if err != nil {
+			return "", nil, err
+		}
+		b.WriteString(iq.String() + "\n")
+		iv, err := experiments.AblationInterval(p)
+		if err != nil {
+			return "", nil, err
+		}
+		b.WriteString(iv.String() + "\n")
+		w, err := experiments.AblationWindow(p)
+		if err != nil {
+			return "", nil, err
+		}
+		b.WriteString(w.String() + "\n")
+		wd, err := experiments.AblationWidth(p)
+		if err != nil {
+			return "", nil, err
+		}
+		b.WriteString(wd.String() + "\n")
+		pr, err := experiments.AblationPredictor(p)
+		if err != nil {
+			return "", nil, err
+		}
+		b.WriteString(pr.String())
+		return b.String(), nil, nil
+	default:
+		return "", nil, fmt.Errorf("unknown target %q", target)
+	}
+}

@@ -1,0 +1,11 @@
+// Package visasim reproduces "Optimizing Issue Queue Reliability to Soft
+// Errors on Simultaneous Multithreaded Architectures" (Fu, Zhang, Li,
+// Fortes — ICPP 2008) as a complete, deterministic SMT processor
+// simulation stack written against the Go standard library.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// benchmark per table/figure of the paper plus simulator micro-benchmarks.
+// The implementation lives under internal/ (see README.md for the map) and
+// is exercised through three commands (cmd/visasim, cmd/avfprof,
+// cmd/experiments) and four runnable examples (examples/).
+package visasim

@@ -1,0 +1,3 @@
+module visasim
+
+go 1.22

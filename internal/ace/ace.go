@@ -1,0 +1,274 @@
+// Package ace implements architecturally-correct-execution (ACE) analysis
+// following Mukherjee et al. (MICRO 2003), the methodology the paper builds
+// on.
+//
+// The Analyzer consumes a committed dynamic instruction stream and decides,
+// for every instruction, whether its result can affect the program's final
+// output (ACE) or not (un-ACE). Classification uses backward liveness
+// propagation inside a sliding post-retirement window (the paper uses a
+// 40,000-instruction window):
+//
+//   - control instructions (branches, jumps, calls, returns) are anchors:
+//     they and, transitively, their operand producers are ACE;
+//   - a store becomes ACE when a later load reads its location before
+//     another store overwrites it, or when it survives the window still
+//     holding the newest value for its location (it may escape as output);
+//     its value/address producers become ACE transitively;
+//   - a register write that is never consumed on an ACE path, and is
+//     overwritten before the window closes, is dynamically dead: un-ACE;
+//   - a register write still architecturally live when it leaves the window
+//     is conservatively ACE (a future read remains possible);
+//   - NOPs are never ACE.
+package ace
+
+import (
+	"visasim/internal/isa"
+	"visasim/internal/trace"
+)
+
+// DefaultWindow is the post-retirement analysis window used by the paper.
+const DefaultWindow = 40000
+
+// anchorSlack is how many instructions before final resolution the
+// conservative anchor decisions (store still holding the newest value,
+// register still architecturally live) are taken. Deciding early leaves the
+// anchor's producers — at most a few tens of instructions older — still
+// inside the window so backward propagation reaches them; deciding at
+// resolution time would mark anchors whose producers had just been resolved
+// (visible as LateMarks).
+const anchorSlack = 512
+
+const noProducer = -1
+
+type entry struct {
+	producers [3]int64 // seq of source producers; [2] is a load's feeding store
+	kind      isa.Kind
+	dest      isa.Reg
+	addr      uint64 // word-aligned address for stores
+	ace       bool
+	isStore   bool
+	storeLive bool // store not yet overwritten
+}
+
+type regState struct {
+	writer int64 // seq of last writer, noProducer if none in window
+}
+
+type memState struct {
+	writer int64 // seq of last store to this word
+}
+
+// Analyzer performs streaming ACE classification. Feed committed
+// instructions in order with Retire; resolved classifications come back via
+// the callback passed to New, in order, delayed by up to the window size.
+// Call Flush at end of stream to resolve the tail.
+type Analyzer struct {
+	window  uint64
+	ring    []entry
+	next    uint64 // seq of the next instruction to be retired into the analyzer
+	settled uint64 // seq of the next instruction to be resolved out
+	checked uint64 // seq of the next instruction to get its anchor decision
+
+	regs [isa.NumRegs]regState
+	mem  map[uint64]memState
+
+	resolve func(seq uint64, ace bool)
+
+	// dfs is the reusable backward-propagation work stack.
+	dfs []int64
+
+	// lateMarks counts ACE marks that arrived after the target had
+	// already left the window — a measure of windowing error.
+	lateMarks uint64
+}
+
+// New returns an analyzer with the given window (0 selects DefaultWindow).
+// resolve is invoked exactly once per instruction, in retirement order.
+func New(window int, resolve func(seq uint64, ace bool)) *Analyzer {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	a := &Analyzer{
+		window:  uint64(window),
+		ring:    make([]entry, window),
+		mem:     make(map[uint64]memState),
+		resolve: resolve,
+	}
+	for i := range a.regs {
+		a.regs[i].writer = noProducer
+	}
+	return a
+}
+
+// LateMarks reports how many ACE marks arrived too late to change an
+// already-resolved instruction (windowing error diagnostic).
+func (a *Analyzer) LateMarks() uint64 { return a.lateMarks }
+
+func (a *Analyzer) at(seq uint64) *entry { return &a.ring[seq%a.window] }
+
+// inWindow reports whether seq is still held in the ring.
+func (a *Analyzer) inWindow(seq int64) bool {
+	return seq >= 0 && uint64(seq) >= a.settled && uint64(seq) < a.next
+}
+
+// Retire feeds the next committed instruction. d.Seq must equal the number
+// of previously retired instructions.
+func (a *Analyzer) Retire(d *trace.DynInst) {
+	if d.Seq != a.next {
+		panic("ace: out-of-order retirement")
+	}
+	// Conservative anchor decisions run anchorSlack instructions ahead
+	// of resolution, then the oldest instruction falls out.
+	if a.next >= a.window-a.slack() {
+		a.anchorCheck(a.checked)
+		a.checked++
+	}
+	if a.next >= a.window {
+		a.settle(a.next - a.window)
+	}
+
+	in := d.Static
+	e := a.at(d.Seq)
+	*e = entry{
+		producers: [3]int64{noProducer, noProducer, noProducer},
+		kind:      in.Kind,
+		dest:      isa.RegNone,
+		isStore:   in.Kind == isa.Store,
+	}
+	a.next = d.Seq + 1
+
+	// Record operand producers.
+	if r := in.Src1; r != isa.RegNone && r != isa.RegZero {
+		e.producers[0] = a.regs[r].writer
+	}
+	if r := in.Src2; r != isa.RegNone && r != isa.RegZero {
+		e.producers[1] = a.regs[r].writer
+	}
+
+	switch in.Kind {
+	case isa.Nop:
+		// Never ACE; no dataflow.
+	case isa.Store:
+		word := d.Addr &^ 7
+		e.addr = word
+		e.storeLive = true
+		// Overwriting a prior store kills it if it was never read.
+		if prev, ok := a.mem[word]; ok && a.inWindow(prev.writer) {
+			a.at(uint64(prev.writer)).storeLive = false
+		}
+		a.mem[word] = memState{writer: int64(d.Seq)}
+	case isa.Load:
+		word := d.Addr &^ 7
+		if prev, ok := a.mem[word]; ok && a.inWindow(prev.writer) {
+			st := a.at(uint64(prev.writer))
+			e.producers[2] = prev.writer
+			// The stored value reached a consumer: the store is
+			// architecturally required.
+			a.mark(uint64(prev.writer), st)
+		}
+	case isa.Branch, isa.Jump, isa.Call, isa.Return:
+		// Control flow is always ACE.
+		a.mark(d.Seq, e)
+	}
+
+	if in.HasDest() {
+		e.dest = in.Dest
+		a.regs[in.Dest].writer = int64(d.Seq)
+	}
+}
+
+// mark sets e (at seq) ACE and propagates backwards through its producers.
+func (a *Analyzer) mark(seq uint64, e *entry) {
+	if e.ace {
+		return
+	}
+	e.ace = true
+	// Iterative DFS over producer edges; each entry is marked at most
+	// once across the analyzer's lifetime, so total work is linear.
+	push := func(p int64) {
+		if p == noProducer {
+			return
+		}
+		if !a.inWindow(p) {
+			if p >= 0 {
+				a.lateMarks++
+			}
+			return
+		}
+		a.dfs = append(a.dfs, p)
+	}
+	for _, p := range e.producers {
+		push(p)
+	}
+	for len(a.dfs) > 0 {
+		p := uint64(a.dfs[len(a.dfs)-1])
+		a.dfs = a.dfs[:len(a.dfs)-1]
+		pe := a.at(p)
+		if pe.ace || pe.kind == isa.Nop {
+			continue
+		}
+		pe.ace = true
+		for _, pp := range pe.producers {
+			push(pp)
+		}
+	}
+}
+
+// slack returns the anchor-decision lead, clamped for tiny windows.
+func (a *Analyzer) slack() uint64 {
+	if a.window/2 < anchorSlack {
+		return a.window / 2
+	}
+	return anchorSlack
+}
+
+// anchorCheck takes the conservative anchor decisions for seq while its
+// producers are still resolvable.
+func (a *Analyzer) anchorCheck(seq uint64) {
+	e := a.at(seq)
+	if e.ace {
+		return
+	}
+	switch {
+	case e.isStore && e.storeLive:
+		// Still the newest value for its location: may be program
+		// output or read beyond the window. Conservatively ACE, and
+		// so are its producers.
+		a.mark(seq, e)
+	case e.dest != isa.RegNone && a.regs[e.dest].writer == int64(seq):
+		// Register still architecturally live near window exit: a
+		// future read remains possible. Conservative ACE.
+		a.mark(seq, e)
+	}
+}
+
+// settle resolves the instruction at seq as it leaves the window.
+func (a *Analyzer) settle(seq uint64) {
+	if seq != a.settled {
+		panic("ace: out-of-order settle")
+	}
+	e := a.at(seq)
+	ace := e.ace
+	// Drop stale tracking state pointing at this instruction.
+	if e.dest != isa.RegNone && a.regs[e.dest].writer == int64(seq) {
+		a.regs[e.dest].writer = noProducer
+	}
+	if e.isStore {
+		if m, ok := a.mem[e.addr]; ok && m.writer == int64(seq) {
+			delete(a.mem, e.addr)
+		}
+	}
+	a.settled = seq + 1
+	a.resolve(seq, ace)
+}
+
+// Flush resolves every instruction still inside the window. The analyzer
+// must not be fed further after flushing.
+func (a *Analyzer) Flush() {
+	for ; a.checked < a.next; a.checked++ {
+		a.anchorCheck(a.checked)
+	}
+	for a.settled < a.next {
+		a.settle(a.settled)
+	}
+}

@@ -1,0 +1,235 @@
+package ace
+
+import (
+	"testing"
+
+	"visasim/internal/isa"
+	"visasim/internal/trace"
+)
+
+// feeder drives an Analyzer with hand-built instruction streams and records
+// resolutions.
+type feeder struct {
+	an    *Analyzer
+	out   map[uint64]bool
+	seq   uint64
+	insts []*isa.Inst // keep static instructions alive
+}
+
+func newFeeder(window int) *feeder {
+	f := &feeder{out: map[uint64]bool{}}
+	f.an = New(window, func(seq uint64, ace bool) { f.out[seq] = ace })
+	return f
+}
+
+func (f *feeder) inst(kind isa.Kind, dest, src1, src2 isa.Reg) *isa.Inst {
+	in := &isa.Inst{PC: 0x1000 + uint64(len(f.insts))*4, Kind: kind, Dest: dest, Src1: src1, Src2: src2}
+	f.insts = append(f.insts, in)
+	return in
+}
+
+// feed retires one instruction and returns its seq.
+func (f *feeder) feed(in *isa.Inst, addr uint64) uint64 {
+	d := trace.DynInst{Static: in, Seq: f.seq, Addr: addr}
+	f.an.Retire(&d)
+	f.seq++
+	return f.seq - 1
+}
+
+// pad retires n filler NOPs (no dataflow).
+func (f *feeder) pad(n int) {
+	nop := f.inst(isa.Nop, isa.RegNone, isa.RegNone, isa.RegNone)
+	for i := 0; i < n; i++ {
+		f.feed(nop, 0)
+	}
+}
+
+func (f *feeder) finish() { f.an.Flush() }
+
+const r = isa.Reg(10) // test registers start here
+
+func TestNopNeverACE(t *testing.T) {
+	f := newFeeder(64)
+	nop := f.inst(isa.Nop, isa.RegNone, isa.RegNone, isa.RegNone)
+	s := f.feed(nop, 0)
+	f.finish()
+	if f.out[s] {
+		t.Fatal("NOP classified ACE")
+	}
+}
+
+func TestBranchIsAnchor(t *testing.T) {
+	f := newFeeder(64)
+	w := f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone)
+	br := f.inst(isa.Branch, isa.RegNone, r, isa.RegNone)
+	sw := f.feed(w, 0)
+	sb := f.feed(br, 0)
+	// Overwrite r so the write is not live at window exit.
+	f.feed(f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone), 0)
+	f.pad(80)
+	f.finish()
+	if !f.out[sb] {
+		t.Fatal("branch not ACE")
+	}
+	if !f.out[sw] {
+		t.Fatal("branch operand producer not ACE")
+	}
+}
+
+func TestDeadWriteUnACE(t *testing.T) {
+	f := newFeeder(64)
+	w1 := f.feed(f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone), 0)
+	// Overwritten without any read.
+	f.feed(f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone), 0)
+	f.feed(f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone), 0)
+	f.pad(80)
+	f.finish()
+	if f.out[w1] {
+		t.Fatal("dead write classified ACE")
+	}
+}
+
+func TestTransitiveChain(t *testing.T) {
+	f := newFeeder(64)
+	a := f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone)
+	b := f.inst(isa.IntALU, r+1, r, isa.RegNone)
+	c := f.inst(isa.IntALU, r+2, r+1, isa.RegNone)
+	br := f.inst(isa.Branch, isa.RegNone, r+2, isa.RegNone)
+	sa := f.feed(a, 0)
+	sb := f.feed(b, 0)
+	sc := f.feed(c, 0)
+	f.feed(br, 0)
+	// Kill liveness-at-exit for all three registers.
+	for i := 0; i < 3; i++ {
+		f.feed(f.inst(isa.IntALU, r+isa.Reg(i), isa.RegZero, isa.RegNone), 0)
+		f.feed(f.inst(isa.IntALU, r+isa.Reg(i), isa.RegZero, isa.RegNone), 0)
+	}
+	f.pad(100)
+	f.finish()
+	for _, s := range []uint64{sa, sb, sc} {
+		if !f.out[s] {
+			t.Fatalf("chain element seq %d not ACE", s)
+		}
+	}
+}
+
+func TestChainWithoutAnchorDies(t *testing.T) {
+	f := newFeeder(64)
+	a := f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone)
+	b := f.inst(isa.IntALU, r+1, r, isa.RegNone)
+	sa := f.feed(a, 0)
+	sb := f.feed(b, 0)
+	// Overwrite both without any anchor consuming the chain.
+	for i := 0; i < 2; i++ {
+		f.feed(f.inst(isa.IntALU, r+isa.Reg(i), isa.RegZero, isa.RegNone), 0)
+		f.feed(f.inst(isa.IntALU, r+isa.Reg(i), isa.RegZero, isa.RegNone), 0)
+	}
+	f.pad(100)
+	f.finish()
+	if f.out[sa] || f.out[sb] {
+		t.Fatal("anchorless chain classified ACE")
+	}
+}
+
+func TestStoreReadBeforeOverwrite(t *testing.T) {
+	f := newFeeder(64)
+	v := f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone)
+	st := f.inst(isa.Store, isa.RegNone, r, isa.RegNone)
+	ld := f.inst(isa.Load, r+1, isa.RegZero, isa.RegNone)
+	sv := f.feed(v, 0)
+	ss := f.feed(st, 0x4000)
+	f.feed(ld, 0x4000)
+	// Kill register liveness tails.
+	for i := 0; i < 2; i++ {
+		f.feed(f.inst(isa.IntALU, r+isa.Reg(i), isa.RegZero, isa.RegNone), 0)
+		f.feed(f.inst(isa.IntALU, r+isa.Reg(i), isa.RegZero, isa.RegNone), 0)
+	}
+	f.pad(100)
+	f.finish()
+	if !f.out[ss] {
+		t.Fatal("read-back store not ACE")
+	}
+	if !f.out[sv] {
+		t.Fatal("store value producer not ACE")
+	}
+}
+
+func TestStoreOverwrittenUnreadDies(t *testing.T) {
+	f := newFeeder(64)
+	st := f.inst(isa.Store, isa.RegNone, isa.RegZero, isa.RegNone)
+	s1 := f.feed(st, 0x4000)
+	s2 := f.feed(st, 0x4000) // overwrites s1 before any read
+	_ = s2
+	f.pad(100)
+	f.finish()
+	if f.out[s1] {
+		t.Fatal("overwritten unread store classified ACE")
+	}
+}
+
+func TestStoreLiveAtExitConservativeACE(t *testing.T) {
+	f := newFeeder(64)
+	st := f.inst(isa.Store, isa.RegNone, isa.RegZero, isa.RegNone)
+	s := f.feed(st, 0x4000)
+	f.pad(200) // never overwritten, never read
+	f.finish()
+	if !f.out[s] {
+		t.Fatal("window-exit live store should be conservatively ACE")
+	}
+}
+
+func TestRegisterLiveAtExitConservativeACE(t *testing.T) {
+	f := newFeeder(64)
+	w := f.feed(f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone), 0)
+	f.pad(200) // r never overwritten
+	f.finish()
+	if !f.out[w] {
+		t.Fatal("window-exit live register should be conservatively ACE")
+	}
+}
+
+func TestLoadFeedingBranch(t *testing.T) {
+	f := newFeeder(64)
+	ld := f.inst(isa.Load, r, isa.RegZero, isa.RegNone)
+	br := f.inst(isa.Branch, isa.RegNone, r, isa.RegNone)
+	sl := f.feed(ld, 0x8000)
+	f.feed(br, 0)
+	f.feed(f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone), 0)
+	f.feed(f.inst(isa.IntALU, r, isa.RegZero, isa.RegNone), 0)
+	f.pad(100)
+	f.finish()
+	if !f.out[sl] {
+		t.Fatal("load feeding branch not ACE")
+	}
+}
+
+func TestOutOfOrderRetirePanics(t *testing.T) {
+	an := New(64, func(uint64, bool) {})
+	in := &isa.Inst{Kind: isa.Nop, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	an.Retire(&trace.DynInst{Static: in, Seq: 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("skipping a sequence number must panic")
+		}
+	}()
+	an.Retire(&trace.DynInst{Static: in, Seq: 5})
+}
+
+func TestEverySeqResolvedExactlyOnce(t *testing.T) {
+	counts := map[uint64]int{}
+	an := New(128, func(seq uint64, _ bool) { counts[seq]++ })
+	in := &isa.Inst{Kind: isa.IntALU, Dest: r, Src1: isa.RegZero, Src2: isa.RegNone}
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		an.Retire(&trace.DynInst{Static: in, Seq: i})
+	}
+	an.Flush()
+	if len(counts) != n {
+		t.Fatalf("resolved %d of %d", len(counts), n)
+	}
+	for seq, c := range counts {
+		if c != 1 {
+			t.Fatalf("seq %d resolved %d times", seq, c)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package ace
+
+import (
+	"bytes"
+	"testing"
+
+	"visasim/internal/workload"
+)
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	b := workload.MustGet("gcc")
+	prog, _ := b.Generate()
+	p, err := Run(prog, b.Params.Seed, 0, 20_000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf, b.Name, b.Params.Seed, 2000); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf, b.Name, b.Params.Seed, prog.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DynInstrs != p.DynInstrs || q.DynACE != p.DynACE || q.LateMarks != p.LateMarks {
+		t.Fatal("scalar fields differ after round trip")
+	}
+	if q.Accuracy() != p.Accuracy() || q.ACEFraction() != p.ACEFraction() {
+		t.Fatal("derived metrics differ after round trip")
+	}
+	for i := range p.Tag {
+		if q.Tag[i] != p.Tag[i] || q.Instances[i] != p.Instances[i] {
+			t.Fatalf("per-PC data differs at %d", i)
+		}
+	}
+	for i := uint64(0); i < p.Bits.Len(); i++ {
+		if q.Bits.Get(i) != p.Bits.Get(i) {
+			t.Fatalf("ACE bit %d differs", i)
+		}
+	}
+}
+
+func TestProfileLoadRejectsMismatches(t *testing.T) {
+	b := workload.MustGet("gcc")
+	prog, _ := b.Generate()
+	p, err := Run(prog, b.Params.Seed, 0, 5_000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	save := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := p.Save(&buf, "gcc", b.Params.Seed, 1000); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if _, err := Load(save(), "mcf", b.Params.Seed, prog.Len()); err == nil {
+		t.Error("wrong benchmark accepted")
+	}
+	if _, err := Load(save(), "gcc", b.Params.Seed+1, prog.Len()); err == nil {
+		t.Error("wrong seed accepted")
+	}
+	if _, err := Load(save(), "gcc", b.Params.Seed, prog.Len()+5); err == nil {
+		t.Error("wrong program length accepted")
+	}
+	if _, err := Load(bytes.NewBufferString("garbage"), "gcc", b.Params.Seed, 0); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package alloc implements the paper's dynamic IQ resource allocation
+// (§2.2): Opt1 caps the number of allocatable issue-queue entries per
+// 10K-cycle interval as a function of the previous interval's IPC and mean
+// ready-queue length (Figure 3), and Opt2 additionally switches to the
+// FLUSH fetch policy when the interval's L2 cache misses exceed a threshold
+// (Figure 4), because capping the IQ while it is clogged by misses costs
+// performance.
+package alloc
+
+import "visasim/internal/pipeline"
+
+// DefaultCacheMissThreshold is the paper's Tcache_miss: interval L2-miss
+// counts above it engage FLUSH instead of the IQL cap (the paper performed
+// a sensitivity analysis and chose 16).
+const DefaultCacheMissThreshold = 16
+
+// Opt1 is the Figure 3 controller: IQL = min(RQL + a·IQ_SIZE, b·IQ_SIZE)
+// with (a, b) selected by the previous interval's IPC quartile.
+type Opt1 struct {
+	// cached decision, recomputed at interval boundaries.
+	interval int
+	decision pipeline.Decision
+}
+
+// NewOpt1 returns the dynamic-allocation controller.
+func NewOpt1() *Opt1 {
+	return &Opt1{interval: -1, decision: pipeline.NoDecision()}
+}
+
+// Name implements pipeline.Controller.
+func (o *Opt1) Name() string { return "visa+opt1" }
+
+// Decide implements pipeline.Controller.
+func (o *Opt1) Decide(v *pipeline.View) pipeline.Decision {
+	if v.IntervalIndex != o.interval {
+		o.interval = v.IntervalIndex
+		o.decision = pipeline.NoDecision()
+		if v.IntervalIndex > 0 { // need one completed interval of statistics
+			o.decision.IQLCap = IQLCap(v.PrevIPC, v.PrevMeanReadyLen, v.IQSize)
+		}
+	}
+	return o.decision
+}
+
+// IQLCap evaluates the Figure 3 formula: the allocation cap given the
+// observed IPC, ready-queue length and total IQ size. The commit width of
+// the studied machine is 8, so IPC is partitioned into four regions.
+func IQLCap(ipc, rql float64, iqSize int) int {
+	s := float64(iqSize)
+	var add, ceil float64
+	switch {
+	case ipc <= 2:
+		add, ceil = s/6, s/3
+	case ipc <= 4:
+		add, ceil = s/3, s/2
+	case ipc <= 6:
+		add, ceil = s/2, 2*s/3
+	default:
+		add, ceil = 2*s/3, s
+	}
+	iql := rql + add
+	if iql > ceil {
+		iql = ceil
+	}
+	if iql < 1 {
+		iql = 1
+	}
+	if iql > s {
+		iql = s
+	}
+	return int(iql)
+}
+
+// Opt2 is the Figure 4 controller: Opt1's cap while interval L2 misses stay
+// at or below Tcache_miss, FLUSH above it.
+type Opt2 struct {
+	// Tcache is the L2-miss threshold (DefaultCacheMissThreshold when
+	// zero-valued via NewOpt2).
+	Tcache uint64
+
+	interval int
+	decision pipeline.Decision
+}
+
+// NewOpt2 returns the L2-miss-sensitive controller with the paper's
+// threshold.
+func NewOpt2() *Opt2 {
+	return &Opt2{Tcache: DefaultCacheMissThreshold, interval: -1, decision: pipeline.NoDecision()}
+}
+
+// Name implements pipeline.Controller.
+func (o *Opt2) Name() string { return "visa+opt2" }
+
+// Decide implements pipeline.Controller.
+func (o *Opt2) Decide(v *pipeline.View) pipeline.Decision {
+	if v.IntervalIndex != o.interval {
+		o.interval = v.IntervalIndex
+		o.decision = pipeline.NoDecision()
+		if v.IntervalIndex > 0 {
+			if v.PrevL2Misses > o.Tcache {
+				o.decision.UseFlush = true
+			} else {
+				o.decision.IQLCap = IQLCap(v.PrevIPC, v.PrevMeanReadyLen, v.IQSize)
+			}
+		}
+	}
+	return o.decision
+}

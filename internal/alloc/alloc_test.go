@@ -1,0 +1,103 @@
+package alloc
+
+import (
+	"testing"
+
+	"visasim/internal/pipeline"
+)
+
+// TestIQLCapFigure3 checks the Figure 3 formula table-driven: IQ_SIZE = 96.
+func TestIQLCapFigure3(t *testing.T) {
+	const iq = 96
+	tests := []struct {
+		ipc, rql float64
+		want     int
+	}{
+		// Region 0 ≤ IPC ≤ 2: min(RQL + 16, 32).
+		{1, 0, 16},
+		{1, 10, 26},
+		{2, 30, 32},
+		// Region 2 < IPC ≤ 4: min(RQL + 32, 48).
+		{3, 0, 32},
+		{3, 10, 42},
+		{4, 40, 48},
+		// Region 4 < IPC ≤ 6: min(RQL + 48, 64).
+		{5, 0, 48},
+		{5, 10, 58},
+		{6, 40, 64},
+		// Region 6 < IPC ≤ 8: min(RQL + 64, 96).
+		{7, 0, 64},
+		{7, 20, 84},
+		{8, 50, 96},
+	}
+	for _, tt := range tests {
+		if got := IQLCap(tt.ipc, tt.rql, iq); got != tt.want {
+			t.Errorf("IQLCap(ipc=%v, rql=%v) = %d, want %d", tt.ipc, tt.rql, got, tt.want)
+		}
+	}
+}
+
+func TestIQLCapBounds(t *testing.T) {
+	if got := IQLCap(0, 0, 96); got < 1 {
+		t.Fatalf("cap %d below 1", got)
+	}
+	if got := IQLCap(8, 1000, 96); got > 96 {
+		t.Fatalf("cap %d above IQ size", got)
+	}
+}
+
+func view(interval int, ipc, rql float64, l2 uint64) *pipeline.View {
+	return &pipeline.View{
+		IQSize:           96,
+		IntervalIndex:    interval,
+		PrevIPC:          ipc,
+		PrevMeanReadyLen: rql,
+		PrevL2Misses:     l2,
+	}
+}
+
+func TestOpt1FirstIntervalUncapped(t *testing.T) {
+	o := NewOpt1()
+	d := o.Decide(view(0, 0, 0, 0))
+	if d.IQLCap >= 0 {
+		t.Fatal("opt1 must not cap before the first interval completes")
+	}
+}
+
+func TestOpt1CachesPerInterval(t *testing.T) {
+	o := NewOpt1()
+	d1 := o.Decide(view(1, 3, 10, 0))
+	if d1.IQLCap != 42 {
+		t.Fatalf("cap %d, want 42", d1.IQLCap)
+	}
+	// Same interval, different (stale) stats: decision unchanged.
+	d2 := o.Decide(view(1, 7, 50, 0))
+	if d2.IQLCap != 42 {
+		t.Fatal("decision recomputed within an interval")
+	}
+	// New interval: recomputed.
+	d3 := o.Decide(view(2, 7, 20, 0))
+	if d3.IQLCap != 84 {
+		t.Fatalf("new interval cap %d, want 84", d3.IQLCap)
+	}
+}
+
+func TestOpt2SwitchesToFlush(t *testing.T) {
+	o := NewOpt2()
+	// Below threshold: cap like opt1, no flush.
+	d := o.Decide(view(1, 3, 10, DefaultCacheMissThreshold))
+	if d.UseFlush || d.IQLCap != 42 {
+		t.Fatalf("below threshold: flush=%v cap=%d", d.UseFlush, d.IQLCap)
+	}
+	// Above threshold: flush, no cap.
+	d = o.Decide(view(2, 3, 10, DefaultCacheMissThreshold+1))
+	if !d.UseFlush || d.IQLCap >= 0 {
+		t.Fatalf("above threshold: flush=%v cap=%d", d.UseFlush, d.IQLCap)
+	}
+}
+
+func TestOpt2Names(t *testing.T) {
+	if NewOpt1().Name() != "visa+opt1" || NewOpt2().Name() != "visa+opt2" {
+		t.Fatal("controller names wrong")
+	}
+}

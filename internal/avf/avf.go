@@ -1,0 +1,173 @@
+// Package avf computes architectural vulnerability factors (AVF) for
+// microarchitecture structures, per Mukherjee et al. (MICRO 2003): the AVF
+// of a structure over an execution is the average fraction of its bits that
+// are ACE per cycle,
+//
+//	AVF = Σ_cycles (resident ACE bits) / (total bits × cycles).
+//
+// Although instructions are classified at instruction granularity, AVF is
+// accounted at bit level using explicit per-entry bit layouts (below), as
+// the paper does.
+package avf
+
+// Per-entry bit layouts. These model the fields a real implementation
+// holds; the split between "payload" bits (ACE only when the instruction is
+// ACE) and "control" bits (opcode, tags — ACE whenever the entry holds a
+// correct-path instruction, because corrupting them can change architectural
+// behaviour even for dynamically dead instructions) follows the paper's
+// observation that un-ACE instructions still contain some ACE bits.
+// Wrong-path instructions contribute no ACE bits: any corruption is
+// squashed with them.
+const (
+	// IQEntryBits: opcode(8) + thread(3) + dest tag(8) + two source
+	// tags(16) + ready/valid flags(5) + immediate/displacement(64) +
+	// ROB/LSQ links(16) + branch info(8) = 128.
+	IQEntryBits = 128
+	// IQACEBitsACE is the ACE-bit count of an IQ entry holding an ACE
+	// instruction (payload + control).
+	IQACEBitsACE = 112
+	// IQACEBitsUnACE is the ACE-bit count for a correct-path un-ACE
+	// instruction (opcode + routing control only).
+	IQACEBitsUnACE = 24
+
+	// ROBEntryBits: PC(32 used) + dest arch reg(6) + old mapping(8) +
+	// exception/complete flags(6) + result-status(24) = 76. Result
+	// values live in the register file, not the ROB, so the ACE payload
+	// is modest: corrupting most of a completed entry cannot change
+	// architectural state.
+	ROBEntryBits = 76
+	// ROBACEBitsACE / ROBACEBitsUnACE follow the same payload/control
+	// split; most ROB payload matters only if the instruction is ACE.
+	ROBACEBitsACE   = 28
+	ROBACEBitsUnACE = 8
+
+	// RegBits is one architectural register.
+	RegBits = 64
+
+	// FULatchBits models the pipeline latches of one function unit.
+	FULatchBits = 128
+)
+
+// Accumulator tracks one structure's ACE-bit residency incrementally: the
+// pipeline adds bits when an entry fills, subtracts when it drains, and
+// ticks once per cycle.
+type Accumulator struct {
+	totalBits uint64 // structure capacity in bits
+	current   uint64 // ACE bits resident this cycle
+	sum       uint64 // Σ over cycles of current
+	cycles    uint64
+}
+
+// NewAccumulator returns an accumulator for a structure with entries
+// entries of entryBits bits each.
+func NewAccumulator(entries, entryBits int) *Accumulator {
+	return &Accumulator{totalBits: uint64(entries) * uint64(entryBits)}
+}
+
+// Add notes bits ACE bits becoming resident.
+func (a *Accumulator) Add(bits uint64) { a.current += bits }
+
+// Sub notes bits ACE bits draining.
+func (a *Accumulator) Sub(bits uint64) {
+	if bits > a.current {
+		panic("avf: accumulator underflow")
+	}
+	a.current -= bits
+}
+
+// Tick closes one cycle.
+func (a *Accumulator) Tick() {
+	a.sum += a.current
+	a.cycles++
+}
+
+// Current returns the ACE bits resident now.
+func (a *Accumulator) Current() uint64 { return a.current }
+
+// ResetStats zeroes the accumulated sums while preserving the currently
+// resident ACE-bit count (in-flight entries keep contributing).
+func (a *Accumulator) ResetStats() { a.sum, a.cycles = 0, 0 }
+
+// Sum returns the cumulative ACE-bit-cycles.
+func (a *Accumulator) Sum() uint64 { return a.sum }
+
+// Cycles returns the ticked cycle count.
+func (a *Accumulator) Cycles() uint64 { return a.cycles }
+
+// TotalBits returns the structure capacity in bits.
+func (a *Accumulator) TotalBits() uint64 { return a.totalBits }
+
+// AVF returns the whole-run AVF.
+func (a *Accumulator) AVF() float64 {
+	if a.cycles == 0 || a.totalBits == 0 {
+		return 0
+	}
+	return float64(a.sum) / (float64(a.totalBits) * float64(a.cycles))
+}
+
+// AVFSince returns the AVF of the window since a prior (sum, cycles)
+// snapshot — the online interval estimator DVM samples.
+func (a *Accumulator) AVFSince(sum, cycles uint64) float64 {
+	dc := a.cycles - cycles
+	if dc == 0 {
+		return 0
+	}
+	return float64(a.sum-sum) / (float64(a.totalBits) * float64(dc))
+}
+
+// SpanAccumulator accounts structures whose ACE residency is only known
+// retrospectively (the register file: a value's vulnerable span runs from
+// its write to its last read, discovered when it is overwritten). Spans are
+// charged in bulk; cycles tick as usual.
+type SpanAccumulator struct {
+	totalBits uint64
+	sum       uint64
+	cycles    uint64
+}
+
+// NewSpanAccumulator returns a span accumulator for entries×entryBits.
+func NewSpanAccumulator(entries, entryBits int) *SpanAccumulator {
+	return &SpanAccumulator{totalBits: uint64(entries) * uint64(entryBits)}
+}
+
+// AddSpan charges bits ACE bits as resident for cycles cycles.
+func (a *SpanAccumulator) AddSpan(bits, cycles uint64) { a.sum += bits * cycles }
+
+// ResetStats zeroes the accumulated sums.
+func (a *SpanAccumulator) ResetStats() { a.sum, a.cycles = 0, 0 }
+
+// Tick closes one cycle.
+func (a *SpanAccumulator) Tick() { a.cycles++ }
+
+// AVF returns the whole-run AVF.
+func (a *SpanAccumulator) AVF() float64 {
+	if a.cycles == 0 || a.totalBits == 0 {
+		return 0
+	}
+	return float64(a.sum) / (float64(a.totalBits) * float64(a.cycles))
+}
+
+// IQBits returns the ACE-bit contribution of one IQ entry holding an
+// instruction with the given classification.
+func IQBits(wrongPath, aceInst bool) uint64 {
+	switch {
+	case wrongPath:
+		return 0
+	case aceInst:
+		return IQACEBitsACE
+	default:
+		return IQACEBitsUnACE
+	}
+}
+
+// ROBBits returns the ACE-bit contribution of one ROB entry.
+func ROBBits(wrongPath, aceInst bool) uint64 {
+	switch {
+	case wrongPath:
+		return 0
+	case aceInst:
+		return ROBACEBitsACE
+	default:
+		return ROBACEBitsUnACE
+	}
+}

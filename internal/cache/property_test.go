@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"visasim/internal/config"
+	"visasim/internal/rng"
+)
+
+// refLRU is a naive reference model of a set-associative LRU cache.
+type refLRU struct {
+	sets      int
+	assoc     int
+	lineShift uint
+	entries   map[int][]uint64 // set -> line addresses, MRU first
+}
+
+func newRefLRU(cfg config.CacheConfig) *refLRU {
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &refLRU{
+		sets:      cfg.Sets(),
+		assoc:     cfg.Assoc,
+		lineShift: shift,
+		entries:   map[int][]uint64{},
+	}
+}
+
+func (r *refLRU) access(addr uint64) bool {
+	line := addr >> r.lineShift
+	set := int(line) % r.sets
+	ways := r.entries[set]
+	for i, l := range ways {
+		if l == line {
+			// Move to MRU.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	// Miss: install at MRU, evict LRU.
+	ways = append([]uint64{line}, ways...)
+	if len(ways) > r.assoc {
+		ways = ways[:r.assoc]
+	}
+	r.entries[set] = ways
+	return false
+}
+
+// TestQuickCacheMatchesReference drives the cache and a naive LRU model with
+// identical random access streams; every hit/miss decision must agree.
+func TestQuickCacheMatchesReference(t *testing.T) {
+	cfg := config.CacheConfig{Name: "q", SizeBytes: 4096, Assoc: 4, LineBytes: 64, HitLatency: 1}
+	f := func(seed uint64, n uint16) bool {
+		c := NewCache(cfg)
+		ref := newRefLRU(cfg)
+		src := rng.New(seed)
+		now := uint64(0)
+		for i := 0; i < int(n%800)+50; i++ {
+			now++
+			// Confine to 4x the cache size so reuse is common.
+			addr := src.Uint64() % (4 * 4096)
+			hit := c.Touch(addr, now, false)
+			if !hit {
+				c.Fill(addr, now, false)
+			}
+			if hit != ref.access(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTLBMatchesReference does the same for the TLB.
+func TestQuickTLBMatchesReference(t *testing.T) {
+	cfg := config.TLBConfig{Name: "q", Entries: 16, Assoc: 4, PageBytes: 4096, MissPenalty: 100}
+	f := func(seed uint64, n uint16) bool {
+		tlb := NewTLB(cfg)
+		ref := newRefLRU(config.CacheConfig{
+			Name: "ref", SizeBytes: cfg.Entries * cfg.PageBytes,
+			Assoc: cfg.Assoc, LineBytes: cfg.PageBytes, HitLatency: 1,
+		})
+		src := rng.New(seed)
+		now := uint64(0)
+		for i := 0; i < int(n%800)+50; i++ {
+			now++
+			addr := src.Uint64() % (64 * 4096)
+			hit := tlb.Access(addr, now) == 0
+			if hit != ref.access(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierarchyMonotoneLatency: a hierarchy access never returns data in
+// the past and deeper levels are never faster than shallower ones.
+func TestHierarchyMonotoneLatency(t *testing.T) {
+	h := NewHierarchy(config.Default())
+	src := rng.New(99)
+	now := uint64(0)
+	for i := 0; i < 20000; i++ {
+		now += uint64(src.Intn(3))
+		addr := src.Uint64() % (8 << 20)
+		r := h.Data(addr, now, src.Bool(0.2))
+		if r.ReadyAt <= now {
+			t.Fatalf("access at %d ready at %d", now, r.ReadyAt)
+		}
+		minLat := map[Level]uint64{HitL1: 1, HitL2: 2, HitMemory: 2}[r.Level]
+		if !r.TLBMiss && r.Level == HitL1 && r.ReadyAt-now > 1 {
+			t.Fatalf("clean L1 hit took %d cycles", r.ReadyAt-now)
+		}
+		if r.ReadyAt-now < minLat && !r.TLBMiss {
+			t.Fatalf("%v hit too fast: %d cycles", r.Level, r.ReadyAt-now)
+		}
+	}
+}

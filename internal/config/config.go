@@ -1,0 +1,251 @@
+// Package config defines the simulated machine configuration.
+//
+// The default configuration reproduces Table 2 of the paper: an 8-wide SMT
+// processor with a 96-entry shared issue queue, per-thread 96-entry reorder
+// buffers and 48-entry load/store queues, a gshare branch predictor with
+// 10-bit per-thread global history, and a three-level memory hierarchy
+// (32KB L1I, 64KB L1D, unified 2MB L2, 200-cycle memory).
+package config
+
+import "fmt"
+
+// CacheConfig describes one set-associative cache.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	LineBytes  int
+	HitLatency int // cycles
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheConfig) Sets() int {
+	return c.SizeBytes / (c.Assoc * c.LineBytes)
+}
+
+// Validate reports an error if the geometry is inconsistent.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.SizeBytes%(c.Assoc*c.LineBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by assoc*line %d",
+			c.Name, c.SizeBytes, c.Assoc*c.LineBytes)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, c.Sets())
+	case c.HitLatency < 1:
+		return fmt.Errorf("cache %s: hit latency %d < 1", c.Name, c.HitLatency)
+	}
+	return nil
+}
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	Name        string
+	Entries     int
+	Assoc       int
+	PageBytes   int
+	MissPenalty int // cycles
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (t TLBConfig) Sets() int { return t.Entries / t.Assoc }
+
+// Validate reports an error if the geometry is inconsistent.
+func (t TLBConfig) Validate() error {
+	switch {
+	case t.Entries <= 0 || t.Assoc <= 0 || t.Entries%t.Assoc != 0:
+		return fmt.Errorf("tlb %s: bad geometry %d/%d", t.Name, t.Entries, t.Assoc)
+	case t.Sets()&(t.Sets()-1) != 0:
+		return fmt.Errorf("tlb %s: set count %d not a power of two", t.Name, t.Sets())
+	case t.PageBytes <= 0 || t.PageBytes&(t.PageBytes-1) != 0:
+		return fmt.Errorf("tlb %s: page size %d not a power of two", t.Name, t.PageBytes)
+	}
+	return nil
+}
+
+// PredictorKind selects the direction predictor.
+type PredictorKind uint8
+
+// Direction predictors.
+const (
+	// PredGshare is Table 2's gshare with per-thread global history.
+	PredGshare PredictorKind = iota
+	// PredBimodal indexes the counter table by PC only (no history);
+	// an ablation baseline.
+	PredBimodal
+)
+
+func (k PredictorKind) String() string {
+	if k == PredBimodal {
+		return "bimodal"
+	}
+	return "gshare"
+}
+
+// BranchConfig describes the branch prediction resources.
+type BranchConfig struct {
+	Kind          PredictorKind
+	GshareEntries int // pattern history table entries (2-bit counters)
+	HistoryBits   int // global history length, kept per thread
+	BTBEntries    int
+	BTBAssoc      int
+	RASEntries    int // per thread
+}
+
+// Machine is the full simulated-machine configuration.
+type Machine struct {
+	// Pipeline widths (fetch = issue = commit, Table 2).
+	FetchWidth  int
+	IssueWidth  int
+	CommitWidth int
+
+	// MaxFetchThreads bounds how many threads supply instructions in a
+	// single fetch cycle (ICOUNT.2.8 in the original SMT work).
+	MaxFetchThreads int
+
+	// Front-end depth between fetch and rename, and the per-thread
+	// fetch-queue capacity.
+	FetchQueueSize int
+	DecodeLatency  int
+
+	IQSize  int // shared issue queue entries
+	ROBSize int // per thread
+	LSQSize int // per thread
+
+	// Function units (Table 2).
+	IntALUs    int
+	IntMulDivs int
+	LoadStores int
+	FPALUs     int
+	FPMulDivs  int
+
+	Branch BranchConfig
+
+	ITLB TLBConfig
+	DTLB TLBConfig
+
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+
+	MemoryLatency int // cycles to main memory
+
+	// MispredictPenalty is the minimum front-end refill delay after a
+	// branch misprediction is resolved.
+	MispredictPenalty int
+}
+
+// Default returns the Table 2 machine configuration.
+func Default() Machine {
+	return Machine{
+		FetchWidth:      8,
+		IssueWidth:      8,
+		CommitWidth:     8,
+		MaxFetchThreads: 2,
+		FetchQueueSize:  32,
+		DecodeLatency:   2,
+
+		IQSize:  96,
+		ROBSize: 96,
+		LSQSize: 48,
+
+		IntALUs:    8,
+		IntMulDivs: 4,
+		LoadStores: 4,
+		FPALUs:     8,
+		FPMulDivs:  4,
+
+		Branch: BranchConfig{
+			GshareEntries: 2048,
+			HistoryBits:   10,
+			BTBEntries:    2048,
+			BTBAssoc:      4,
+			RASEntries:    32,
+		},
+
+		ITLB: TLBConfig{Name: "itlb", Entries: 128, Assoc: 4, PageBytes: 4096, MissPenalty: 200},
+		DTLB: TLBConfig{Name: "dtlb", Entries: 256, Assoc: 4, PageBytes: 4096, MissPenalty: 200},
+
+		L1I: CacheConfig{Name: "l1i", SizeBytes: 32 << 10, Assoc: 2, LineBytes: 32, HitLatency: 1},
+		L1D: CacheConfig{Name: "l1d", SizeBytes: 64 << 10, Assoc: 4, LineBytes: 64, HitLatency: 1},
+		L2:  CacheConfig{Name: "l2", SizeBytes: 2 << 20, Assoc: 4, LineBytes: 128, HitLatency: 12},
+
+		MemoryLatency:     200,
+		MispredictPenalty: 3,
+	}
+}
+
+// FUCount returns the number of units in each function-unit pool, indexed by
+// isa.FUClass ordinal (int ALU, int mul/div, load/store, FP ALU, FP mul/div).
+func (m Machine) FUCount() [5]int {
+	return [5]int{m.IntALUs, m.IntMulDivs, m.LoadStores, m.FPALUs, m.FPMulDivs}
+}
+
+// Validate reports an error for inconsistent configurations.
+func (m Machine) Validate() error {
+	switch {
+	case m.FetchWidth <= 0 || m.IssueWidth <= 0 || m.CommitWidth <= 0:
+		return fmt.Errorf("config: non-positive pipeline width")
+	case m.MaxFetchThreads <= 0:
+		return fmt.Errorf("config: MaxFetchThreads must be positive")
+	case m.IQSize <= 0 || m.ROBSize <= 0 || m.LSQSize <= 0:
+		return fmt.Errorf("config: non-positive queue size")
+	case m.FetchQueueSize < m.FetchWidth:
+		return fmt.Errorf("config: fetch queue (%d) smaller than fetch width (%d)",
+			m.FetchQueueSize, m.FetchWidth)
+	case m.IntALUs <= 0 || m.LoadStores <= 0:
+		return fmt.Errorf("config: need at least one int ALU and one load/store unit")
+	case m.Branch.HistoryBits <= 0 || m.Branch.HistoryBits > 20:
+		return fmt.Errorf("config: history bits %d out of range", m.Branch.HistoryBits)
+	case m.Branch.GshareEntries&(m.Branch.GshareEntries-1) != 0:
+		return fmt.Errorf("config: gshare entries %d not a power of two", m.Branch.GshareEntries)
+	case m.MemoryLatency <= 0:
+		return fmt.Errorf("config: non-positive memory latency")
+	}
+	for _, c := range []CacheConfig{m.L1I, m.L1D, m.L2} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, t := range []TLBConfig{m.ITLB, m.DTLB} {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the configuration as the rows of Table 2.
+func (m Machine) String() string {
+	return fmt.Sprintf(`Processor Width     %d-wide fetch/issue/commit
+Issue Queue         %d
+ITLB                %d entries, %d-way, %d cycle miss
+Branch Predictor    %d entries Gshare, %d-bit global history per thread
+BTB                 %d entries, %d-way
+Return Address      %d entries RAS per thread
+L1 Instruction      %dK, %d-way, %d Byte/line, %d cycle access
+ROB Size            %d entries per thread
+Load/Store Queue    %d entries per thread
+Integer ALU         %d I-ALU, %d I-MUL/DIV, %d Load/Store
+FP ALU              %d FP-ALU, %d FP-MUL/DIV/SQRT
+DTLB                %d entries, %d-way, %d cycle miss
+L1 Data Cache       %dK, %d-way, %d Byte/line, %d cycle access
+L2 Cache            unified %dM, %d-way, %d Byte/line, %d cycle access
+Memory Access       %d cycles access latency`,
+		m.FetchWidth,
+		m.IQSize,
+		m.ITLB.Entries, m.ITLB.Assoc, m.ITLB.MissPenalty,
+		m.Branch.GshareEntries, m.Branch.HistoryBits,
+		m.Branch.BTBEntries, m.Branch.BTBAssoc,
+		m.Branch.RASEntries,
+		m.L1I.SizeBytes>>10, m.L1I.Assoc, m.L1I.LineBytes, m.L1I.HitLatency,
+		m.ROBSize,
+		m.LSQSize,
+		m.IntALUs, m.IntMulDivs, m.LoadStores,
+		m.FPALUs, m.FPMulDivs,
+		m.DTLB.Entries, m.DTLB.Assoc, m.DTLB.MissPenalty,
+		m.L1D.SizeBytes>>10, m.L1D.Assoc, m.L1D.LineBytes, m.L1D.HitLatency,
+		m.L2.SizeBytes>>20, m.L2.Assoc, m.L2.LineBytes, m.L2.HitLatency,
+		m.MemoryLatency)
+}

@@ -1,0 +1,338 @@
+// Package core is the public face of the reproduction: it assembles
+// benchmarks, offline vulnerability profiling, the SMT pipeline and the
+// paper's reliability schemes into single-call simulations.
+//
+// A typical use:
+//
+//	res, err := core.Run(core.Config{
+//	        Benchmarks:      []string{"bzip2", "eon", "gcc", "perlbmk"},
+//	        Scheme:          core.SchemeVISAOpt2,
+//	        Policy:          pipeline.PolicyICOUNT,
+//	        MaxInstructions: 400_000,
+//	})
+//
+// Offline profiles (the expensive ACE analysis pass) are cached per
+// (benchmark, budget, window) so sweeps over schemes and policies reuse
+// them.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"visasim/internal/ace"
+	"visasim/internal/alloc"
+	"visasim/internal/config"
+	"visasim/internal/dvm"
+	"visasim/internal/pipeline"
+	"visasim/internal/trace"
+	"visasim/internal/uarch"
+	"visasim/internal/workload"
+)
+
+// Scheme selects the paper's reliability mechanism under evaluation.
+type Scheme uint8
+
+// Schemes, in the order the paper introduces them.
+const (
+	// SchemeBase is the unmodified machine (normalisation baseline).
+	SchemeBase Scheme = iota
+	// SchemeVISA prioritises ready ACE-tagged instructions at issue.
+	SchemeVISA
+	// SchemeVISAOpt1 adds dynamic IQ resource allocation (Figure 3).
+	SchemeVISAOpt1
+	// SchemeVISAOpt2 adds L2-miss-sensitive allocation + FLUSH (Figure 4).
+	SchemeVISAOpt2
+	// SchemeDVMStatic is dynamic vulnerability management with a fixed
+	// wq_ratio.
+	SchemeDVMStatic
+	// SchemeDVM is full dynamic vulnerability management.
+	SchemeDVM
+
+	numSchemes
+)
+
+// NumSchemes is the number of schemes.
+const NumSchemes = int(numSchemes)
+
+var schemeNames = [...]string{
+	SchemeBase:      "base",
+	SchemeVISA:      "visa",
+	SchemeVISAOpt1:  "visa+opt1",
+	SchemeVISAOpt2:  "visa+opt2",
+	SchemeDVMStatic: "dvm-static",
+	SchemeDVM:       "dvm",
+}
+
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return "scheme(?)"
+}
+
+// DefaultInstructions is the default per-run committed-instruction budget.
+// (The paper simulates 400M per workload; see DESIGN.md for the scaling
+// substitution.)
+const DefaultInstructions = 400_000
+
+// Config describes one simulation.
+type Config struct {
+	// Machine is the simulated hardware; the zero value selects the
+	// paper's Table 2 configuration.
+	Machine *config.Machine
+
+	// Benchmarks names the co-scheduled threads (1 to 8; the paper's
+	// workloads use 4).
+	Benchmarks []string
+
+	Scheme Scheme
+	Policy pipeline.FetchPolicyKind
+
+	// MaxInstructions is the total committed-instruction budget
+	// (DefaultInstructions when 0), measured after warmup.
+	MaxInstructions uint64
+	// MaxCycles optionally bounds wall-clock cycles.
+	MaxCycles uint64
+	// Warmup commits this many instructions before statistics start
+	// (DefaultWarmupFraction of the budget when 0; negative disables).
+	Warmup int64
+	// ProfileWindow is the offline ACE analysis window
+	// (ace.DefaultWindow when 0).
+	ProfileWindow int
+
+	// DVMTarget is the absolute IQ-AVF reliability target for the DVM
+	// schemes (typically a fraction of the baseline's MaxIQAVF).
+	DVMTarget float64
+	// DVMStaticRatio fixes wq_ratio for SchemeDVMStatic.
+	DVMStaticRatio float64
+	// DVMStructure selects the structure DVM manages (IQ by default;
+	// the ROB extension implements the paper's future-work suggestion).
+	DVMStructure dvm.Structure
+
+	// Ablation knobs.
+
+	// OracleTags replaces profiled per-PC tags with perfect
+	// per-instance ACE-ness.
+	OracleTags bool
+	// Opt2Threshold overrides Tcache_miss for SchemeVISAOpt2 (paper
+	// value when 0).
+	Opt2Threshold uint64
+	// IntervalCycles overrides the 10K-cycle control interval.
+	IntervalCycles int
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Machine == nil {
+		m := config.Default()
+		out.Machine = &m
+	}
+	if out.MaxInstructions == 0 {
+		out.MaxInstructions = DefaultInstructions
+	}
+	if out.Warmup == 0 {
+		out.Warmup = int64(out.MaxInstructions / 4)
+	}
+	if out.Warmup < 0 {
+		out.Warmup = 0
+	}
+	if out.ProfileWindow == 0 {
+		out.ProfileWindow = ace.DefaultWindow
+	}
+	if len(out.Benchmarks) == 0 || len(out.Benchmarks) > uarch.MaxThreads {
+		return out, fmt.Errorf("core: %d benchmarks outside 1..%d", len(out.Benchmarks), uarch.MaxThreads)
+	}
+	switch out.Scheme {
+	case SchemeDVM, SchemeDVMStatic:
+		if out.DVMTarget <= 0 {
+			return out, fmt.Errorf("core: scheme %v requires a positive DVMTarget", out.Scheme)
+		}
+	}
+	return out, nil
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	*pipeline.Results
+
+	Scheme Scheme
+	Policy pipeline.FetchPolicyKind
+
+	// Benchmarks echoes the thread programs.
+	Benchmarks []string
+
+	// ProfileACEFraction is the mean profiled ACE fraction of the
+	// threads' committed instructions.
+	ProfileACEFraction float64
+	// CommittedTagAccuracy is the mean per-PC tag accuracy over
+	// committed instructions (Table 1's first metric).
+	CommittedTagAccuracy float64
+
+	// DVMMeanRatio is the mean wq_ratio of a dynamic DVM run (zero for
+	// other schemes); the paper configures the static variant with it.
+	DVMMeanRatio float64
+}
+
+// CombinedTagAccuracy folds squashed instructions into the tag accuracy
+// (Table 1's second metric, ~83% in the paper): squashed instructions are
+// ground-truth un-ACE, so ACE-tagged squashed ones are mismatches.
+func (r *Result) CombinedTagAccuracy() float64 {
+	committed := float64(r.TotalCommits())
+	total := committed + float64(r.SquashedTotal)
+	if total == 0 {
+		return 1
+	}
+	matches := r.CommittedTagAccuracy*committed + float64(r.SquashedTotal-r.SquashedTagged)
+	return matches / total
+}
+
+// profileKey identifies a cached offline profile.
+type profileKey struct {
+	bench  string
+	n      uint64
+	window int
+}
+
+type profileEntry struct {
+	once sync.Once
+	p    *ace.Profile
+	err  error
+}
+
+var (
+	profileMu    sync.Mutex
+	profileCache = map[profileKey]*profileEntry{}
+)
+
+// profileSlack covers in-flight instructions beyond the commit budget.
+const profileSlack = 4096
+
+// ProfileFor returns the (cached) offline vulnerability profile of bench
+// covering at least n dynamic instructions with the given analysis window.
+// Concurrent callers for the same key share one profiling pass.
+func ProfileFor(bench workload.Benchmark, n uint64, window int) (*ace.Profile, error) {
+	key := profileKey{bench.Name, n, window}
+	profileMu.Lock()
+	e, ok := profileCache[key]
+	if !ok {
+		e = &profileEntry{}
+		profileCache[key] = e
+	}
+	profileMu.Unlock()
+
+	e.once.Do(func() {
+		prog, err := bench.Generate()
+		if err != nil {
+			e.err = err
+			return
+		}
+		// Thread 0 unconditionally: the address-space tag does not
+		// affect ACE-ness (it is a bijection on addresses), so one
+		// profile serves every thread slot.
+		e.p, e.err = ace.Run(prog, bench.Params.Seed, 0, n, window)
+	})
+	return e.p, e.err
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	streams := make([]*trace.Stream, len(c.Benchmarks))
+	var aceFrac, tagAcc float64
+	profLen := c.MaxInstructions + uint64(c.Warmup) + profileSlack
+	for i, name := range c.Benchmarks {
+		b, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := ProfileFor(b, profLen, c.ProfileWindow)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling %s: %w", name, err)
+		}
+		prog, err := b.Generate()
+		if err != nil {
+			return nil, err
+		}
+		prof.Apply(prog)
+		exec := trace.NewExecutor(prog, b.Params.Seed, i)
+		streams[i] = trace.NewStream(exec, prof.Bits)
+		aceFrac += prof.ACEFraction()
+		tagAcc += prof.Accuracy()
+	}
+	aceFrac /= float64(len(c.Benchmarks))
+	tagAcc /= float64(len(c.Benchmarks))
+
+	sched := uarch.SchedOldestFirst
+	var ctrl pipeline.Controller
+	switch c.Scheme {
+	case SchemeVISA:
+		sched = uarch.SchedVISA
+	case SchemeVISAOpt1:
+		sched = uarch.SchedVISA
+		ctrl = alloc.NewOpt1()
+	case SchemeVISAOpt2:
+		sched = uarch.SchedVISA
+		o2 := alloc.NewOpt2()
+		if c.Opt2Threshold > 0 {
+			o2.Tcache = c.Opt2Threshold
+		}
+		ctrl = o2
+	case SchemeDVM:
+		d := dvm.New(c.DVMTarget)
+		d.Struct = c.DVMStructure
+		ctrl = d
+	case SchemeDVMStatic:
+		ratio := c.DVMStaticRatio
+		if ratio <= 0 {
+			ratio = 1
+		}
+		d := dvm.NewStatic(c.DVMTarget, ratio)
+		d.Struct = c.DVMStructure
+		ctrl = d
+	}
+
+	proc, err := pipeline.New(pipeline.Params{
+		Machine:            *c.Machine,
+		Scheduler:          sched,
+		Policy:             c.Policy,
+		Controller:         ctrl,
+		Streams:            streams,
+		MaxInstructions:    c.MaxInstructions,
+		MaxCycles:          c.MaxCycles,
+		WarmupInstructions: uint64(c.Warmup),
+		OracleTags:         c.OracleTags,
+		IntervalCycles:     c.IntervalCycles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := proc.Run()
+
+	out := &Result{
+		Results:              res,
+		Scheme:               c.Scheme,
+		Policy:               c.Policy,
+		Benchmarks:           append([]string(nil), c.Benchmarks...),
+		ProfileACEFraction:   aceFrac,
+		CommittedTagAccuracy: tagAcc,
+	}
+	if d, ok := ctrl.(*dvm.Controller); ok {
+		out.DVMMeanRatio = d.MeanRatio()
+	}
+	return out, nil
+}
+
+// RunMix is a convenience wrapper running one of Table 3's workloads.
+func RunMix(mix workload.Mix, scheme Scheme, policy pipeline.FetchPolicyKind, budget uint64) (*Result, error) {
+	return Run(Config{
+		Benchmarks:      mix.Benchmarks[:],
+		Scheme:          scheme,
+		Policy:          policy,
+		MaxInstructions: budget,
+	})
+}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+)
+
+// Example runs the smallest meaningful simulation: one thread, baseline
+// machine, and prints whether vulnerability accounting produced output.
+func Example() {
+	res, err := core.Run(core.Config{
+		Benchmarks:      []string{"gcc"},
+		Scheme:          core.SchemeBase,
+		Policy:          pipeline.PolicyICOUNT,
+		MaxInstructions: 5000,
+		Warmup:          -1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.TotalCommits() >= 5000, res.IQAVF > 0 && res.IQAVF < 1)
+	// Output: true true
+}
+
+// ExampleRun_visa shows how a reliability scheme is selected.
+func ExampleRun_visa() {
+	res, err := core.Run(core.Config{
+		Benchmarks:      []string{"bzip2", "eon"},
+		Scheme:          core.SchemeVISA,
+		Policy:          pipeline.PolicyICOUNT,
+		MaxInstructions: 5000,
+		Warmup:          -1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Scheme, len(res.Commits))
+	// Output: visa 2
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"visasim/internal/dvm"
+	"visasim/internal/pipeline"
+)
+
+// TestSchemePolicyMatrix exercises every (scheme × fetch policy) cell on a
+// mixed workload: no panics, budget reached, sane outputs. This is the
+// integration sweep the experiment harness depends on.
+func TestSchemePolicyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	workload := []string{"gcc", "mcf", "vpr", "perlbmk"}
+	const budget = 10_000
+	for _, scheme := range []Scheme{SchemeBase, SchemeVISA, SchemeVISAOpt1, SchemeVISAOpt2, SchemeDVM} {
+		for _, pol := range pipeline.AllPolicies() {
+			cfg := Config{
+				Benchmarks:      workload,
+				Scheme:          scheme,
+				Policy:          pol,
+				MaxInstructions: budget,
+				Warmup:          -1,
+			}
+			if scheme == SchemeDVM {
+				cfg.DVMTarget = 0.2
+			}
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", scheme, pol, err)
+			}
+			if r.TotalCommits() < budget {
+				t.Errorf("%v/%v: committed %d of %d", scheme, pol, r.TotalCommits(), budget)
+			}
+			if r.IQAVF < 0 || r.IQAVF > 1 || r.ThroughputIPC <= 0 {
+				t.Errorf("%v/%v: implausible outputs AVF=%v IPC=%v", scheme, pol, r.IQAVF, r.ThroughputIPC)
+			}
+		}
+	}
+}
+
+// TestWorkloadWidthRange runs 1..8 threads of the same benchmark: SMT
+// throughput must not collapse as contexts are added, and the IQ AVF must
+// grow with utilisation.
+func TestWorkloadWidthRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	var prevIPC float64
+	var avf1, avf8 float64
+	for n := 1; n <= 8; n *= 2 {
+		benchmarks := make([]string, n)
+		for i := range benchmarks {
+			benchmarks[i] = "gcc"
+		}
+		r, err := Run(Config{
+			Benchmarks:      benchmarks,
+			Scheme:          SchemeBase,
+			Policy:          pipeline.PolicyICOUNT,
+			MaxInstructions: 20_000,
+			Warmup:          -1,
+		})
+		if err != nil {
+			t.Fatalf("%d threads: %v", n, err)
+		}
+		t.Logf("%d threads: IPC %.2f IQAVF %.3f", n, r.ThroughputIPC, r.IQAVF)
+		// Co-scheduling identical threads contends for the same cache
+		// sets, so throughput can dip past 4 contexts; it must still
+		// beat the single-thread machine.
+		if n > 1 && r.ThroughputIPC < prevIPC*0.55 {
+			t.Errorf("%d threads: IPC %.2f collapsed from %.2f", n, r.ThroughputIPC, prevIPC)
+		}
+		prevIPC = r.ThroughputIPC
+		if n == 1 {
+			avf1 = r.IQAVF
+			prevIPC = r.ThroughputIPC
+		}
+		if n == 8 {
+			avf8 = r.IQAVF
+		}
+	}
+	if avf8 <= avf1 {
+		t.Errorf("8-thread IQ AVF %.3f not above 1-thread %.3f (TLP should raise exposure)", avf8, avf1)
+	}
+}
+
+// TestROBDVMStructure: the DVM controller retargeted at the ROB must
+// reduce ROB-AVF emergencies relative to the baseline.
+func TestROBDVMStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	workload := []string{"mcf", "equake", "vpr", "swim"}
+	base, err := Run(Config{
+		Benchmarks:      workload,
+		Scheme:          SchemeBase,
+		Policy:          pipeline.PolicyICOUNT,
+		MaxInstructions: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 0.5 * base.MaxROBAVF
+	ext, err := Run(Config{
+		Benchmarks:      workload,
+		Scheme:          SchemeDVM,
+		Policy:          pipeline.PolicyICOUNT,
+		MaxInstructions: 60_000,
+		DVMTarget:       target,
+		DVMStructure:    dvm.StructROB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ROB PVE: base %.2f -> dvm %.2f (target %.4f)",
+		base.PVEROB(target), ext.PVEROB(target), target)
+	if base.PVEROB(target) > 0.3 && ext.PVEROB(target) >= base.PVEROB(target)*0.5 {
+		t.Fatalf("ROB-DVM did not manage ROB AVF: %.2f vs %.2f",
+			ext.PVEROB(target), base.PVEROB(target))
+	}
+	if ext.ROBAVFTagged <= 0 || ext.ROBAVF <= 0 {
+		t.Fatal("ROB AVF accounting missing")
+	}
+}
+
+// TestOracleTagsFlag: with OracleTags the tagged AVF estimate equals the
+// ground-truth AVF (tags become per-instance perfect).
+func TestOracleTagsFlag(t *testing.T) {
+	cfg := Config{
+		Benchmarks:      []string{"gcc", "mcf"},
+		Scheme:          SchemeVISA,
+		Policy:          pipeline.PolicyICOUNT,
+		MaxInstructions: 10_000,
+		Warmup:          -1,
+		OracleTags:      true,
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IQAVFTagged != r.IQAVF {
+		t.Fatalf("oracle tags: tagged AVF %.4f != ground truth %.4f", r.IQAVFTagged, r.IQAVF)
+	}
+	cfg.OracleTags = false
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.IQAVFTagged == r2.IQAVF {
+		t.Fatal("profiled tags should not be per-instance perfect")
+	}
+}

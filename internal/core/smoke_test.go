@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"visasim/internal/pipeline"
+)
+
+// TestSmokeRun exercises one full simulation per scheme on a small budget:
+// no panics, plausible IPC, nonzero AVF.
+func TestSmokeRun(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeBase, SchemeVISA, SchemeVISAOpt1, SchemeVISAOpt2} {
+		res, err := Run(Config{
+			Benchmarks:      []string{"bzip2", "eon", "gcc", "perlbmk"},
+			Scheme:          scheme,
+			Policy:          pipeline.PolicyICOUNT,
+			MaxInstructions: 60_000,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		t.Logf("%v: cycles=%d IPC=%.2f hIPC=%.2f IQAVF=%.3f ROB=%.3f RF=%.3f FU=%.3f aceFrac=%.2f acc=%.3f mispred=%d wrong=%d l2=%d",
+			scheme, res.Cycles, res.ThroughputIPC, res.HarmonicIPC, res.IQAVF,
+			res.ROBAVF, res.RFAVF, res.FUAVF, res.ProfileACEFraction,
+			res.CommittedTagAccuracy, res.Mispredicts, res.WrongPathFetched, res.L2Misses)
+		t.Logf("   l1i=%.3f l1d=%.3f l2=%.3f br=%.3f occ=%.1f rql=%.1f",
+			res.L1IMissRate, res.L1DMissRate, res.L2MissRate,
+			res.MispredictRate, res.MeanIQOccupancy, res.MeanReadyLen)
+		if res.ThroughputIPC <= 0.1 || res.ThroughputIPC > 8 {
+			t.Errorf("%v: implausible IPC %.3f", scheme, res.ThroughputIPC)
+		}
+		if res.IQAVF <= 0 || res.IQAVF >= 1 {
+			t.Errorf("%v: implausible IQ AVF %.3f", scheme, res.IQAVF)
+		}
+	}
+}

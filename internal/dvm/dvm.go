@@ -1,0 +1,225 @@
+// Package dvm implements the paper's Dynamic Vulnerability Management (§5):
+// a feedback controller that keeps the issue queue's runtime AVF below a
+// pre-set reliability target while minimising performance loss.
+//
+// Mechanism (Figure 7):
+//
+//   - an ACE-bit counter estimates the online IQ AVF; it is sampled five
+//     times per 10K-cycle interval and compared against a trigger threshold
+//     set to 90% of the reliability target;
+//   - an L2 cache miss immediately enables the response mechanism
+//     (dispatch for the missing thread is throttled, because dependent ACE
+//     bits would otherwise sit in the IQ for hundreds of cycles);
+//   - above the trigger, wq_ratio — the permitted ratio of waiting to ready
+//     instructions in the IQ — is decreased rapidly; below it, increased
+//     slowly. The implied waiting-instruction cap is recomputed every 50
+//     cycles (the integer division the paper mentions);
+//   - if every thread is dispatch-gated, dispatch is restored for the
+//     thread with the fewest ACE-tagged instructions in its fetch queue
+//     whenever the online AVF drops below the trigger: un-ACE instructions
+//     add little vulnerability but keep exploiting ILP.
+package dvm
+
+import "visasim/internal/pipeline"
+
+// Tunables (paper values where stated; otherwise chosen by the sensitivity
+// sweeps in the bench suite).
+const (
+	// TriggerFraction: trigger threshold = 0.9 × reliability target.
+	TriggerFraction = 0.9
+	// RatioComputeCycles: the waiting cap is recomputed every 50 cycles.
+	RatioComputeCycles = 50
+	// MaxRatio bounds wq_ratio; an unconstrained IQ runs at roughly 2
+	// waiting instructions per ready one, so 4 is effectively "off".
+	MaxRatio = 4.0
+	// MinRatio keeps the machine alive under the most aggressive
+	// targets.
+	MinRatio = 0.05
+	// IncreaseStep is the slow additive recovery per sample below
+	// trigger.
+	IncreaseStep = 0.3
+	// DecreaseFactor is the rapid multiplicative cut per sample above
+	// trigger.
+	DecreaseFactor = 0.6
+)
+
+// Structure selects which hardware structure a controller manages. The
+// paper evaluates the IQ and suggests the technique extends to other
+// structures; StructROB implements that extension for the reorder buffer.
+type Structure uint8
+
+// Managed structures.
+const (
+	StructIQ Structure = iota
+	StructROB
+)
+
+func (s Structure) String() string {
+	if s == StructROB {
+		return "rob"
+	}
+	return "iq"
+}
+
+// Controller implements pipeline.Controller for DVM.
+type Controller struct {
+	// Target is the absolute AVF reliability target for the managed
+	// structure (the paper expresses it as a fraction of the baseline's
+	// maximum interval AVF).
+	Target float64
+	// Struct selects the managed structure (the IQ by default).
+	Struct Structure
+	// Static, when true, freezes wq_ratio at StaticRatio (the paper's
+	// "DVM (static ratio)" comparison variant).
+	Static      bool
+	StaticRatio float64
+
+	ratio      float64
+	waitingCap int
+	lastSample int
+	lastRatioC uint64
+	name       string
+
+	ratioSum     float64
+	ratioSamples uint64
+}
+
+// New returns a dynamic-ratio DVM controller for the given absolute AVF
+// target.
+func New(target float64) *Controller {
+	return &Controller{
+		Target:     target,
+		ratio:      MaxRatio,
+		waitingCap: -1,
+		lastSample: -1,
+		name:       "dvm",
+	}
+}
+
+// NewStatic returns the static-ratio variant: the response mechanisms are
+// identical but wq_ratio stays fixed.
+func NewStatic(target, ratio float64) *Controller {
+	c := New(target)
+	c.Static = true
+	c.StaticRatio = ratio
+	c.ratio = ratio
+	c.name = "dvm-static"
+	return c
+}
+
+// Name implements pipeline.Controller.
+func (c *Controller) Name() string { return c.name }
+
+// Ratio exposes the current wq_ratio (tests, and the harness uses the
+// dynamic variant's mean to configure the static one, as the paper does).
+func (c *Controller) Ratio() float64 { return c.ratio }
+
+// MeanRatio returns the average wq_ratio over the run — the paper sets the
+// static variant's ratio to this value.
+func (c *Controller) MeanRatio() float64 {
+	if c.ratioSamples == 0 {
+		return c.ratio
+	}
+	return c.ratioSum / float64(c.ratioSamples)
+}
+
+// trigger returns the trigger threshold.
+func (c *Controller) trigger() float64 { return TriggerFraction * c.Target }
+
+// estimates returns the managed structure's sampled and interval-so-far
+// tag-AVF estimates.
+func (c *Controller) estimates(v *pipeline.View) (sample, soFar float64) {
+	if c.Struct == StructROB {
+		return v.SampleROBAVFTag, v.IntervalROBAVFTagSoFar
+	}
+	return v.SampleAVFTag, v.IntervalAVFTagSoFar
+}
+
+// Decide implements pipeline.Controller.
+func (c *Controller) Decide(v *pipeline.View) pipeline.Decision {
+	d := pipeline.NoDecision()
+	sample, soFar := c.estimates(v)
+
+	// Adapt wq_ratio on each fresh fine-grained AVF sample: rapid
+	// decrease above trigger, slow increase below.
+	if v.SampleIndex != c.lastSample {
+		c.lastSample = v.SampleIndex
+		c.ratioSum += c.ratio
+		c.ratioSamples++
+		if !c.Static {
+			if sample > c.trigger() {
+				c.ratio *= DecreaseFactor
+				if c.ratio < MinRatio {
+					c.ratio = MinRatio
+				}
+			} else {
+				c.ratio += IncreaseStep
+				if c.ratio > MaxRatio {
+					c.ratio = MaxRatio
+				}
+			}
+		}
+	}
+
+	// The waiting cap (wq_ratio × ready instructions) involves a
+	// division, performed once every 50 cycles.
+	if v.Cycle-c.lastRatioC >= RatioComputeCycles || c.waitingCap < 0 {
+		c.lastRatioC = v.Cycle
+		ready := v.ReadyLen
+		if ready < 1 {
+			ready = 1
+		}
+		c.waitingCap = int(c.ratio * float64(ready))
+		if c.waitingCap < 1 {
+			c.waitingCap = 1
+		}
+		if c.waitingCap > v.IQSize {
+			c.waitingCap = v.IQSize
+		}
+	}
+
+	// Engage the response mechanisms only while the estimated AVF is
+	// near the target; far below it the IQ runs unmanaged. (Throttling
+	// outside emergencies is what the paper's performance numbers rule
+	// out: DVM must be near-free when the machine is already safe.)
+	responding := soFar > c.trigger()
+	if responding {
+		d.WaitingCap = c.waitingCap
+	}
+
+	// During an emergency, an L2 miss immediately extends the response:
+	// dispatch for threads with outstanding misses is throttled, since
+	// their dependents would park ACE bits in the IQ for hundreds of
+	// cycles.
+	gatedAll := true
+	anyGated := false
+	for i := 0; i < v.NumThreads; i++ {
+		if responding && v.OutstandingL2[i] > 0 {
+			d.GateDispatch[i] = true
+			anyGated = true
+		} else {
+			gatedAll = false
+		}
+	}
+
+	// Restore dispatch for the thread with the fewest ACE-tagged
+	// instructions in its fetch queue when the online AVF is below
+	// trigger, so an all-threads-stalled machine keeps making progress.
+	if anyGated && sample < c.trigger() {
+		if gatedAll || sample < 0.5*c.trigger() {
+			best := -1
+			for i := 0; i < v.NumThreads; i++ {
+				if !d.GateDispatch[i] {
+					continue
+				}
+				if best < 0 || v.FetchQACETag[i] < v.FetchQACETag[best] {
+					best = i
+				}
+			}
+			if best >= 0 {
+				d.GateDispatch[best] = false
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,179 @@
+package dvm
+
+import (
+	"testing"
+
+	"visasim/internal/pipeline"
+)
+
+func baseView() *pipeline.View {
+	return &pipeline.View{
+		NumThreads: 4,
+		IQSize:     96,
+		ReadyLen:   10,
+	}
+}
+
+func TestRatioDecreasesOnEmergency(t *testing.T) {
+	c := New(0.4)
+	v := baseView()
+	v.SampleIndex = 1
+	v.SampleAVFTag = 0.5 // above trigger 0.36
+	c.Decide(v)
+	if c.Ratio() >= MaxRatio {
+		t.Fatalf("ratio %v did not decrease", c.Ratio())
+	}
+	prev := c.Ratio()
+	v.SampleIndex = 2
+	c.Decide(v)
+	if c.Ratio() >= prev {
+		t.Fatal("ratio did not keep decreasing")
+	}
+}
+
+func TestRatioRecoversSlowly(t *testing.T) {
+	c := New(0.4)
+	v := baseView()
+	// Crash the ratio first.
+	for i := 1; i <= 6; i++ {
+		v.SampleIndex = i
+		v.SampleAVFTag = 0.9
+		c.Decide(v)
+	}
+	low := c.Ratio()
+	// Recovery step must be additive and smaller than the cut.
+	v.SampleIndex = 7
+	v.SampleAVFTag = 0.0
+	c.Decide(v)
+	if c.Ratio() != low+IncreaseStep {
+		t.Fatalf("recovery %v -> %v, want +%v", low, c.Ratio(), IncreaseStep)
+	}
+}
+
+func TestRatioBounds(t *testing.T) {
+	c := New(0.1)
+	v := baseView()
+	for i := 1; i < 100; i++ {
+		v.SampleIndex = i
+		v.SampleAVFTag = 1
+		c.Decide(v)
+	}
+	if c.Ratio() < MinRatio {
+		t.Fatalf("ratio %v below floor", c.Ratio())
+	}
+	for i := 100; i < 300; i++ {
+		v.SampleIndex = i
+		v.SampleAVFTag = 0
+		c.Decide(v)
+	}
+	if c.Ratio() > MaxRatio {
+		t.Fatalf("ratio %v above ceiling", c.Ratio())
+	}
+}
+
+func TestWaitingCapFollowsReadyLen(t *testing.T) {
+	c := New(0.4)
+	v := baseView()
+	v.SampleIndex = 1
+	v.SampleAVFTag = 0.39 // emergency: responding
+	v.IntervalAVFTagSoFar = 0.39
+	v.ReadyLen = 10
+	d := c.Decide(v)
+	if d.WaitingCap < 1 || d.WaitingCap > v.IQSize {
+		t.Fatalf("waiting cap %d out of range", d.WaitingCap)
+	}
+	// Recomputed only every RatioComputeCycles.
+	v.Cycle = 10
+	v.ReadyLen = 40
+	d2 := c.Decide(v)
+	if d2.WaitingCap != d.WaitingCap {
+		t.Fatal("waiting cap recomputed too early")
+	}
+	v.Cycle = RatioComputeCycles + 1
+	d3 := c.Decide(v)
+	if d3.WaitingCap == d.WaitingCap {
+		t.Fatal("waiting cap never recomputed")
+	}
+}
+
+func TestL2MissGatesDispatch(t *testing.T) {
+	c := New(0.4)
+	v := baseView()
+	v.OutstandingL2[1] = 2
+	v.SampleAVFTag = 0.9 // above trigger: no restore
+	v.IntervalAVFTagSoFar = 0.9
+	d := c.Decide(v)
+	if !d.GateDispatch[1] {
+		t.Fatal("missing thread not gated")
+	}
+	if d.GateDispatch[0] || d.GateDispatch[2] {
+		t.Fatal("clean threads gated")
+	}
+}
+
+func TestRestoreFewestACEWhenAllGated(t *testing.T) {
+	c := New(0.4)
+	v := baseView()
+	for i := 0; i < 4; i++ {
+		v.OutstandingL2[i] = 1
+	}
+	v.FetchQACETag = [8]int32{5, 2, 9, 7}
+	v.IntervalAVFTagSoFar = 0.5 // emergency interval...
+	v.SampleAVFTag = 0.1        // ...but the latest sample is safe: restore one
+	d := c.Decide(v)
+	ungated := -1
+	for i := 0; i < 4; i++ {
+		if !d.GateDispatch[i] {
+			if ungated >= 0 {
+				t.Fatal("more than one thread restored")
+			}
+			ungated = i
+		}
+	}
+	if ungated != 1 {
+		t.Fatalf("restored thread %d, want 1 (fewest ACE tags)", ungated)
+	}
+}
+
+func TestNoRestoreAboveTrigger(t *testing.T) {
+	c := New(0.4)
+	v := baseView()
+	for i := 0; i < 4; i++ {
+		v.OutstandingL2[i] = 1
+	}
+	v.SampleAVFTag = 0.39 // above trigger (0.36)
+	v.IntervalAVFTagSoFar = 0.39
+	d := c.Decide(v)
+	for i := 0; i < 4; i++ {
+		if !d.GateDispatch[i] {
+			t.Fatal("thread restored during emergency")
+		}
+	}
+}
+
+func TestStaticRatioFrozen(t *testing.T) {
+	c := NewStatic(0.4, 1.5)
+	v := baseView()
+	for i := 1; i < 20; i++ {
+		v.SampleIndex = i
+		v.SampleAVFTag = 0.9
+		c.Decide(v)
+	}
+	if c.Ratio() != 1.5 {
+		t.Fatalf("static ratio drifted to %v", c.Ratio())
+	}
+	if c.Name() != "dvm-static" || New(0.1).Name() != "dvm" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestMeanRatio(t *testing.T) {
+	c := New(0.4)
+	v := baseView()
+	v.SampleIndex = 1
+	v.SampleAVFTag = 0 // stays at MaxRatio
+	c.Decide(v)
+	if got := c.MeanRatio(); got != MaxRatio {
+		t.Fatalf("mean ratio %v", got)
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+)
+
+func TestCalibrationPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, mixName := range []string{"MEM-A", "MIX-A"} {
+		for _, pol := range pipeline.AllPolicies() {
+			r, err := core.Run(core.Config{
+				Benchmarks:      mixBenchmarks(t, mixName),
+				Scheme:          core.SchemeBase,
+				Policy:          pol,
+				MaxInstructions: 120_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s %-6v IPC=%.2f IQAVF=%.3f occ=%.0f rql=%.1f flushes=%d wrong=%d",
+				mixName, pol, r.ThroughputIPC, r.IQAVF, r.MeanIQOccupancy, r.MeanReadyLen, r.Flushes, r.WrongPathFetched)
+		}
+	}
+}
+
+func TestCalibrationDVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	r, err := Fig8(Params{Budget: 120_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+	"visasim/internal/workload"
+)
+
+// TestCalibrationBaseline prints per-mix baseline characteristics used to
+// tune workload profiles against the paper's taxonomy. Diagnostic.
+func TestCalibrationBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	res, err := runMixes(Params{Budget: 120_000}, []core.Scheme{core.SchemeBase},
+		[]pipeline.FetchPolicyKind{pipeline.PolicyICOUNT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mix := range workload.Mixes() {
+		r := res[key(mix.Name, core.SchemeBase, pipeline.PolicyICOUNT)]
+		t.Logf("%-6s IPC=%.2f hIPC=%.2f IQAVF=%.3f maxAVF=%.3f occ=%.0f rql=%.1f l1d=%.3f l2mr=%.3f dtlb=%.3f br=%.3f l2miss/KI=%.1f",
+			mix.Name, r.ThroughputIPC, r.HarmonicIPC, r.IQAVF, r.MaxIQAVF,
+			r.MeanIQOccupancy, r.MeanReadyLen, r.L1DMissRate, r.L2MissRate,
+			r.DTLBMissRate, r.MispredictRate,
+			1000*float64(r.L2Misses)/float64(r.TotalCommits()))
+	}
+}
+
+func mixBenchmarks(t *testing.T, name string) []string {
+	for _, m := range workload.Mixes() {
+		if m.Name == name {
+			return m.Benchmarks[:]
+		}
+	}
+	t.Fatalf("unknown mix %s", name)
+	return nil
+}

@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index). Each experiment
+// returns structured results plus a rendered text report; cmd/experiments
+// prints them and bench_test.go wraps them as benchmarks.
+//
+// Absolute numbers differ from the paper (the substrate is a synthetic
+// workload model, not SPEC2000 on M-Sim); the shapes — which scheme wins,
+// by roughly what factor, and where behaviour crosses over — are the
+// reproduction targets, recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"visasim/internal/core"
+	"visasim/internal/harness"
+	"visasim/internal/pipeline"
+	"visasim/internal/workload"
+)
+
+// Params tunes an experiment run.
+type Params struct {
+	// Budget is the per-simulation committed-instruction budget
+	// (DefaultBudget when 0). The paper simulates 400M instructions per
+	// workload; see DESIGN.md for the scaling substitution.
+	Budget uint64
+	// Workers bounds concurrent simulations (GOMAXPROCS when 0).
+	Workers int
+}
+
+// DefaultBudget is the default per-run instruction budget.
+const DefaultBudget = 200_000
+
+func (p Params) budget() uint64 {
+	if p.Budget == 0 {
+		return DefaultBudget
+	}
+	return p.Budget
+}
+
+// key builds a stable cell key.
+func key(parts ...any) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprint(p)
+	}
+	return s
+}
+
+// runMixes runs every Table 3 mix under each (scheme, policy) pair.
+func runMixes(p Params, schemes []core.Scheme, policies []pipeline.FetchPolicyKind) (harness.Results, error) {
+	var cells []harness.Cell
+	for _, mix := range workload.Mixes() {
+		for _, s := range schemes {
+			for _, pol := range policies {
+				cells = append(cells, harness.Cell{
+					Key: key(mix.Name, s, pol),
+					Cfg: core.Config{
+						Benchmarks:      mix.Benchmarks[:],
+						Scheme:          s,
+						Policy:          pol,
+						MaxInstructions: p.budget(),
+					},
+				})
+			}
+		}
+	}
+	return harness.Run(cells, harness.Options{Workers: p.Workers})
+}
+
+// categoryMean averages f over the mixes of each category, returning values
+// in Table 3 category order (CPU, MIX, MEM).
+func categoryMean(f func(mix workload.Mix) float64) [3]float64 {
+	var out [3]float64
+	for ci, cat := range workload.Categories() {
+		mixes := workload.MixesIn(cat)
+		sum := 0.0
+		for _, m := range mixes {
+			sum += f(m)
+		}
+		out[ci] = sum / float64(len(mixes))
+	}
+	return out
+}

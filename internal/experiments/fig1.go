@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+	"visasim/internal/report"
+	"visasim/internal/workload"
+)
+
+// Structures profiled by Figure 1.
+var fig1Structures = []string{"IQ", "ROB", "RF", "FU"}
+
+// Fig1Result is the microarchitecture soft-error vulnerability profile:
+// per-category AVF of the issue queue, reorder buffer, register file and
+// function units on the baseline SMT machine (ICOUNT fetch).
+type Fig1Result struct {
+	// AVF[category][structure] in Table 3 category order and
+	// fig1Structures order.
+	AVF [3][4]float64
+}
+
+// Fig1 reproduces Figure 1.
+func Fig1(p Params) (*Fig1Result, error) {
+	res, err := runMixes(p, []core.Scheme{core.SchemeBase}, []pipeline.FetchPolicyKind{pipeline.PolicyICOUNT})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig1Result{}
+	for si, get := range []func(*core.Result) float64{
+		func(r *core.Result) float64 { return r.IQAVF },
+		func(r *core.Result) float64 { return r.ROBAVF },
+		func(r *core.Result) float64 { return r.RFAVF },
+		func(r *core.Result) float64 { return r.FUAVF },
+	} {
+		m := categoryMean(func(mix workload.Mix) float64 {
+			return get(res[key(mix.Name, core.SchemeBase, pipeline.PolicyICOUNT)])
+		})
+		for ci := range m {
+			out.AVF[ci][si] = m[ci]
+		}
+	}
+	return out, nil
+}
+
+// MaxStructure returns the structure with the highest AVF in every
+// category, or "" if categories disagree — the paper's headline claim is
+// that the IQ is the reliability hot-spot everywhere.
+func (r *Fig1Result) MaxStructure() string {
+	winner := ""
+	for ci := range r.AVF {
+		best := 0
+		for si := range r.AVF[ci] {
+			if r.AVF[ci][si] > r.AVF[ci][best] {
+				best = si
+			}
+		}
+		if winner == "" {
+			winner = fig1Structures[best]
+		} else if winner != fig1Structures[best] {
+			return ""
+		}
+	}
+	return winner
+}
+
+// String renders the figure as a table with bars.
+func (r *Fig1Result) String() string {
+	t := report.NewTable("Figure 1: microarchitecture soft-error vulnerability profile (AVF %)",
+		"structure", "CPU", "MIX", "MEM", "profile")
+	for si, s := range fig1Structures {
+		avg := (r.AVF[0][si] + r.AVF[1][si] + r.AVF[2][si]) / 3
+		t.AddRow(s,
+			report.Pct(r.AVF[0][si]),
+			report.Pct(r.AVF[1][si]),
+			report.Pct(r.AVF[2][si]),
+			report.Bar(avg, 0.8, 32))
+	}
+	return t.String()
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+	"visasim/internal/report"
+	"visasim/internal/workload"
+)
+
+// fig5Schemes are the proposed schemes, evaluated against SchemeBase.
+var fig5Schemes = []core.Scheme{core.SchemeVISA, core.SchemeVISAOpt1, core.SchemeVISAOpt2}
+
+// Fig5Result holds normalised IQ AVF and throughput IPC for VISA,
+// VISA+opt1 and VISA+opt2 with ICOUNT fetch, averaged per workload
+// category. Values are relative to the unmodified baseline (1.0).
+type Fig5Result struct {
+	// NormAVF[scheme][category], NormIPC[scheme][category]; schemes in
+	// fig5Schemes order, categories in CPU/MIX/MEM order.
+	NormAVF [3][3]float64
+	NormIPC [3][3]float64
+}
+
+// Fig5 reproduces Figure 5.
+func Fig5(p Params) (*Fig5Result, error) {
+	schemes := append([]core.Scheme{core.SchemeBase}, fig5Schemes...)
+	res, err := runMixes(p, schemes, []pipeline.FetchPolicyKind{pipeline.PolicyICOUNT})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{}
+	fillNormalized(res, pipeline.PolicyICOUNT, fig5Schemes, &out.NormAVF, &out.NormIPC)
+	return out, nil
+}
+
+// fillNormalized computes per-category mean normalised AVF/IPC for schemes
+// against SchemeBase under one fetch policy.
+func fillNormalized(res map[string]*core.Result, pol pipeline.FetchPolicyKind,
+	schemes []core.Scheme, avf, ipc *[3][3]float64) {
+	for si, s := range schemes {
+		a := categoryMean(func(mix workload.Mix) float64 {
+			base := res[key(mix.Name, core.SchemeBase, pol)]
+			r := res[key(mix.Name, s, pol)]
+			if base.IQAVF == 0 {
+				return 1
+			}
+			return r.IQAVF / base.IQAVF
+		})
+		i := categoryMean(func(mix workload.Mix) float64 {
+			base := res[key(mix.Name, core.SchemeBase, pol)]
+			r := res[key(mix.Name, s, pol)]
+			if base.ThroughputIPC == 0 {
+				return 1
+			}
+			return r.ThroughputIPC / base.ThroughputIPC
+		})
+		for ci := 0; ci < 3; ci++ {
+			avf[si][ci] = a[ci]
+			ipc[si][ci] = i[ci]
+		}
+	}
+}
+
+// AvgAVFReduction returns the mean IQ-AVF reduction of scheme si across
+// categories (the paper reports 48% for VISA+opt2 under ICOUNT).
+func (r *Fig5Result) AvgAVFReduction(si int) float64 {
+	return 1 - (r.NormAVF[si][0]+r.NormAVF[si][1]+r.NormAVF[si][2])/3
+}
+
+// AvgIPCChange returns the mean relative IPC change of scheme si (the paper
+// reports +1% for VISA+opt2).
+func (r *Fig5Result) AvgIPCChange(si int) float64 {
+	return (r.NormIPC[si][0]+r.NormIPC[si][1]+r.NormIPC[si][2])/3 - 1
+}
+
+func renderNormalized(title string, schemes []core.Scheme, avf, ipc *[3][3]float64) string {
+	t := report.NewTable(title+" — normalised IQ AVF",
+		"scheme", "CPU", "MIX", "MEM", "avg")
+	for si, s := range schemes {
+		avg := (avf[si][0] + avf[si][1] + avf[si][2]) / 3
+		t.AddRowf(3, s.String(), avf[si][0], avf[si][1], avf[si][2], avg)
+	}
+	t2 := report.NewTable(title+" — normalised throughput IPC",
+		"scheme", "CPU", "MIX", "MEM", "avg")
+	for si, s := range schemes {
+		avg := (ipc[si][0] + ipc[si][1] + ipc[si][2]) / 3
+		t2.AddRowf(3, s.String(), ipc[si][0], ipc[si][1], ipc[si][2], avg)
+	}
+	return t.String() + "\n" + t2.String()
+}
+
+// String renders both panels of Figure 5.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString(renderNormalized("Figure 5 (ICOUNT)", fig5Schemes, &r.NormAVF, &r.NormIPC))
+	fmt.Fprintf(&b, "\nVISA+opt2: average IQ AVF reduction %.0f%%, IPC change %+.1f%%\n",
+		100*r.AvgAVFReduction(2), 100*r.AvgIPCChange(2))
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+)
+
+// fig6Policies are the advanced fetch policies Figure 6 evaluates under.
+var fig6Policies = []pipeline.FetchPolicyKind{
+	pipeline.PolicySTALL, pipeline.PolicyDG, pipeline.PolicyPDG, pipeline.PolicyFLUSH,
+}
+
+// Fig6Result holds, per advanced fetch policy, the same normalised IQ AVF
+// and IPC panels as Figure 5 (normalised to that policy's own baseline).
+type Fig6Result struct {
+	Policies []pipeline.FetchPolicyKind
+	// NormAVF[policy][scheme][category], likewise NormIPC.
+	NormAVF [][3][3]float64
+	NormIPC [][3][3]float64
+}
+
+// Fig6 reproduces Figure 6.
+func Fig6(p Params) (*Fig6Result, error) {
+	schemes := append([]core.Scheme{core.SchemeBase}, fig5Schemes...)
+	res, err := runMixes(p, schemes, fig6Policies)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6Result{
+		Policies: fig6Policies,
+		NormAVF:  make([][3][3]float64, len(fig6Policies)),
+		NormIPC:  make([][3][3]float64, len(fig6Policies)),
+	}
+	for pi, pol := range fig6Policies {
+		fillNormalized(res, pol, fig5Schemes, &out.NormAVF[pi], &out.NormIPC[pi])
+	}
+	return out, nil
+}
+
+// AvgAVFReduction returns the mean VISA+opt2 AVF reduction across all
+// policies and categories (the paper reports 36%).
+func (r *Fig6Result) AvgAVFReduction() float64 {
+	sum, n := 0.0, 0
+	for pi := range r.Policies {
+		for ci := 0; ci < 3; ci++ {
+			sum += r.NormAVF[pi][2][ci]
+			n++
+		}
+	}
+	return 1 - sum/float64(n)
+}
+
+// AvgIPCChange returns the mean VISA+opt2 IPC change across all policies.
+func (r *Fig6Result) AvgIPCChange() float64 {
+	sum, n := 0.0, 0
+	for pi := range r.Policies {
+		for ci := 0; ci < 3; ci++ {
+			sum += r.NormIPC[pi][2][ci]
+			n++
+		}
+	}
+	return sum/float64(n) - 1
+}
+
+// String renders per-policy panels.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	for pi, pol := range r.Policies {
+		b.WriteString(renderNormalized(fmt.Sprintf("Figure 6 (%v)", pol),
+			fig5Schemes, &r.NormAVF[pi], &r.NormIPC[pi]))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "VISA+opt2 across advanced policies: AVF reduction %.0f%%, IPC change %+.1f%%\n",
+		100*r.AvgAVFReduction(), 100*r.AvgIPCChange())
+	return b.String()
+}

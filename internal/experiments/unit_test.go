@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"visasim/internal/workload"
+)
+
+func TestKeyStable(t *testing.T) {
+	if key("a", 1, 2.5) != "a/1/2.5" {
+		t.Fatalf("key = %q", key("a", 1, 2.5))
+	}
+	if key() != "" {
+		t.Fatal("empty key")
+	}
+}
+
+func TestParamsBudgetDefault(t *testing.T) {
+	if (Params{}).budget() != DefaultBudget {
+		t.Fatal("default budget")
+	}
+	if (Params{Budget: 5}).budget() != 5 {
+		t.Fatal("explicit budget")
+	}
+}
+
+func TestCategoryMean(t *testing.T) {
+	// f returns 1 for CPU mixes, 2 for MIX, 3 for MEM.
+	vals := categoryMean(func(m workload.Mix) float64 {
+		switch m.Category {
+		case workload.CatCPU:
+			return 1
+		case workload.CatMIX:
+			return 2
+		default:
+			return 3
+		}
+	})
+	if vals != [3]float64{1, 2, 3} {
+		t.Fatalf("categoryMean = %v", vals)
+	}
+}
+
+func TestFig1MaxStructure(t *testing.T) {
+	r := &Fig1Result{}
+	for ci := 0; ci < 3; ci++ {
+		r.AVF[ci][0] = 0.5 // IQ
+		r.AVF[ci][1] = 0.2
+	}
+	if r.MaxStructure() != "IQ" {
+		t.Fatal("IQ not detected as max")
+	}
+	r.AVF[1][2] = 0.9 // RF wins in MIX only
+	if r.MaxStructure() != "" {
+		t.Fatal("disagreeing categories must yield empty winner")
+	}
+}
+
+func TestDVMFracsMatchPaper(t *testing.T) {
+	want := []float64{0.7, 0.6, 0.5, 0.4, 0.3}
+	if len(DVMFracs) != len(want) {
+		t.Fatal("threshold sweep length")
+	}
+	for i, f := range want {
+		if DVMFracs[i] != f {
+			t.Fatalf("frac %d = %v", i, DVMFracs[i])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package harness runs batches of independent simulations across a worker
+// pool. Experiment sweeps (scheme × policy × workload × threshold) are
+// embarrassingly parallel; every cell is deterministic on its own, so the
+// parallel schedule never affects results.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"visasim/internal/core"
+)
+
+// Cell is one simulation in a sweep.
+type Cell struct {
+	// Key identifies the cell in the result map; it must be unique
+	// within a batch.
+	Key string
+	Cfg core.Config
+}
+
+// Results maps cell keys to simulation results.
+type Results map[string]*core.Result
+
+// Options tunes batch execution.
+type Options struct {
+	// Workers bounds concurrent simulations (GOMAXPROCS when 0).
+	Workers int
+}
+
+// Run executes every cell and returns the keyed results. The first error
+// aborts the batch (outstanding cells finish; queued ones are skipped).
+func Run(cells []Cell, opt Options) (Results, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.Key] {
+			return nil, fmt.Errorf("harness: duplicate cell key %q", c.Key)
+		}
+		seen[c.Key] = true
+	}
+
+	var (
+		mu       sync.Mutex
+		results  = make(Results, len(cells))
+		firstErr error
+	)
+	jobs := make(chan Cell)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				res, err := core.Run(c.Cfg)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("cell %s: %w", c.Key, err)
+					}
+				} else {
+					results[c.Key] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range cells {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+)
+
+func cell(key, bench string) Cell {
+	return Cell{
+		Key: key,
+		Cfg: core.Config{
+			Benchmarks:      []string{bench},
+			Scheme:          core.SchemeBase,
+			Policy:          pipeline.PolicyICOUNT,
+			MaxInstructions: 8000,
+		},
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	cells := []Cell{cell("a", "gcc"), cell("b", "mcf"), cell("c", "bzip2")}
+	seq, err := Run(cells, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(cells, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range seq {
+		if seq[k].Cycles != par[k].Cycles || seq[k].IQAVF != par[k].IQAVF {
+			t.Fatalf("cell %s differs between schedules", k)
+		}
+	}
+}
+
+func TestDuplicateKeysRejected(t *testing.T) {
+	if _, err := Run([]Cell{cell("x", "gcc"), cell("x", "mcf")}, Options{}); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+}
+
+func TestErrorPropagates(t *testing.T) {
+	bad := Cell{Key: "bad", Cfg: core.Config{Benchmarks: []string{"nonesuch"}, MaxInstructions: 1000}}
+	_, err := Run([]Cell{cell("ok", "gcc"), bad}, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error %v does not name the failing cell", err)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	res, err := Run(nil, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v %v", res, err)
+	}
+}

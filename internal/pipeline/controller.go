@@ -1,0 +1,76 @@
+package pipeline
+
+import "visasim/internal/uarch"
+
+// View is the per-cycle machine state exposed to dispatch controllers (the
+// paper's dynamic IQ resource allocation, §2.2, and DVM, §5). It contains
+// only quantities a real implementation could read from counters.
+type View struct {
+	Cycle      uint64
+	NumThreads int
+
+	// Issue-queue occupancy split (from the per-cycle census).
+	IQSize      int
+	IQLen       int
+	ReadyLen    int
+	WaitingLen  int
+	ReadyACETag int
+
+	// Interval statistics: index of the current 10K-cycle interval and
+	// the previous interval's figures (available from its boundary on).
+	IntervalIndex    int
+	PrevIPC          float64
+	PrevMeanReadyLen float64
+	PrevL2Misses     uint64
+
+	// Online tag-based IQ AVF estimation (what DVM's ACE-bit counter
+	// hardware computes): the most recent fine-grained sample and the
+	// running estimate over the current interval so far.
+	SampleIndex            int
+	SampleAVFTag           float64
+	SampleROBAVFTag        float64
+	IntervalAVFTagSoFar    float64
+	IntervalROBAVFTagSoFar float64
+
+	// Per-thread state.
+	OutstandingL2 [uarch.MaxThreads]int32 // in-flight loads missed to memory
+	FetchQLen     [uarch.MaxThreads]int32
+	FetchQACETag  [uarch.MaxThreads]int32 // ACE-tagged instructions in fetch queue
+}
+
+// Decision is a controller's dispatch-stage directive for the current cycle.
+type Decision struct {
+	// IQLCap caps allocated IQ entries (the paper's IQL); <0 means no
+	// cap.
+	IQLCap int
+	// WaitingCap caps the number of waiting (not-ready) instructions in
+	// the IQ (derived from DVM's wq_ratio); <0 means no cap.
+	WaitingCap int
+	// GateDispatch stalls dispatch per thread.
+	GateDispatch [uarch.MaxThreads]bool
+	// UseFlush engages FLUSH-style handling of L2 misses (opt2's
+	// response when the interval's L2 misses exceed Tcache_miss),
+	// regardless of the base fetch policy.
+	UseFlush bool
+}
+
+// NoDecision is the neutral decision (no caps, no gating).
+func NoDecision() Decision { return Decision{IQLCap: -1, WaitingCap: -1} }
+
+// Controller adjusts dispatch behaviour each cycle. Implementations live in
+// internal/alloc (opt1/opt2) and internal/dvm.
+type Controller interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Decide is invoked once per cycle, after completion/wakeup and
+	// before issue and dispatch.
+	Decide(v *View) Decision
+}
+
+// SampleDivisor is how many fine-grained AVF samples DVM takes per
+// interval (the paper samples "five times within each interval").
+const SampleDivisor = 5
+
+// IntervalCycles is the sampling interval used by the interval statistics,
+// the dynamic allocation mechanism and DVM (the paper uses 10K cycles).
+const IntervalCycles = 10000

@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"visasim/internal/uarch"
+)
+
+// DumpState writes a human-readable snapshot of the machine to w — a
+// debugging aid for pipeline investigations (front-end state per thread,
+// issue-queue contents, in-flight counts).
+func (p *Processor) DumpState(w io.Writer) {
+	fmt.Fprintf(w, "cycle %d  commits %d  IQ %d/%d (ready %d, waiting %d)\n",
+		p.cycle, p.totalCommits, p.iq.Len(), p.iq.Size(),
+		p.census.Ready, p.census.Waiting)
+	for _, t := range p.threads {
+		path := "correct"
+		if !t.onTrace {
+			path = "wrong"
+		}
+		fmt.Fprintf(w, "thread %d: pc %#x (%s path, pos %d)  fq %d  rob %d  lsq %d  iq %d  L2miss %d",
+			t.id, t.pc, path, t.streamPos, t.fq.Len(), t.rob.Len(), t.lsq.Len(),
+			p.iq.ThreadLen(t.id), t.outstandingL2)
+		if t.stallUntil > p.cycle {
+			fmt.Fprintf(w, "  stalled until %d", t.stallUntil)
+		}
+		if t.flushStall {
+			fmt.Fprintf(w, "  flush-stalled")
+		}
+		if t.pendingMispredict != nil {
+			fmt.Fprintf(w, "  mispredict pending @%#x", t.pendingMispredict.Static().PC)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "issue queue (oldest first):")
+	var uops []*uarch.Uop
+	p.iq.ForEach(func(u *uarch.Uop) { uops = append(uops, u) })
+	for i := 0; i < len(uops); i++ {
+		for j := i + 1; j < len(uops); j++ {
+			if uops[j].Age < uops[i].Age {
+				uops[i], uops[j] = uops[j], uops[i]
+			}
+		}
+	}
+	for _, u := range uops {
+		state := "waiting"
+		if u.Ready() {
+			state = "ready"
+		}
+		flags := ""
+		if u.ACETag {
+			flags += " tag"
+		}
+		if u.ACE {
+			flags += " ACE"
+		}
+		if u.WrongPath {
+			flags += " wrong-path"
+		}
+		fmt.Fprintf(w, "  t%d age %-8d %-8s%v  [%s%s]\n",
+			u.Thread, u.Age, state, u.Static(), u.Kind().FU(), flags)
+	}
+}

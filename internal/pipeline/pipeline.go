@@ -1,0 +1,419 @@
+// Package pipeline implements the cycle-driven 8-wide SMT processor model:
+// fetch (ICOUNT-family policies), decode, rename, dispatch into a shared
+// issue queue, schedule (baseline or VISA), execute on Table 2's function
+// units against a realistic memory hierarchy, and in-order per-thread
+// commit — with branch misprediction and wrong-path execution, FLUSH-style
+// thread squashing, and bit-level AVF accounting for the issue queue,
+// reorder buffer, register file and function units.
+//
+// Stages are evaluated in reverse order each cycle (commit → writeback →
+// issue → dispatch → fetch), so results complete before consumers are
+// selected (modelling bypass) and a uop moves at most one stage per cycle.
+package pipeline
+
+import (
+	"fmt"
+
+	"visasim/internal/avf"
+	"visasim/internal/branch"
+	"visasim/internal/cache"
+	"visasim/internal/config"
+	"visasim/internal/program"
+	"visasim/internal/stats"
+	"visasim/internal/trace"
+	"visasim/internal/uarch"
+)
+
+// wheelSize is the completion wheel capacity; it must exceed the largest
+// possible completion latency (TLB miss + L2 + memory ≈ 420 cycles).
+const wheelSize = 1024
+
+// Params configures one simulation.
+type Params struct {
+	Machine   config.Machine
+	Scheduler uarch.Scheduler
+	Policy    FetchPolicyKind
+	// Controller implements dynamic IQ allocation or DVM; nil runs the
+	// unmanaged machine.
+	Controller Controller
+	// Streams supplies one oracle stream per thread (1..MaxThreads).
+	Streams []*trace.Stream
+	// MaxInstructions stops the run once total commits reach it
+	// (counted after warmup).
+	MaxInstructions uint64
+	// MaxCycles is the safety stop (0 selects 64×MaxInstructions),
+	// counted after warmup.
+	MaxCycles uint64
+	// WarmupInstructions are committed before statistics collection
+	// begins, letting caches and predictors reach steady state (the
+	// paper fast-forwards to SimPoint regions for the same reason).
+	WarmupInstructions uint64
+	// OracleTags replaces the profiled per-PC ACE tags with perfect
+	// per-instance ACE-ness at fetch (ablation: how much do profiling
+	// false positives cost the VISA mechanisms?).
+	OracleTags bool
+	// IntervalCycles overrides the statistics/controller interval
+	// (IntervalCycles constant when 0; ablation knob).
+	IntervalCycles int
+}
+
+// Processor is the simulated SMT core.
+type Processor struct {
+	cfg     config.Machine
+	n       int
+	threads []*thread
+
+	iq    *uarch.IQ
+	fus   *uarch.FUPools
+	mem   *cache.Hierarchy
+	bp    *branch.Predictor
+	sched uarch.Scheduler
+	pol   *policyState
+	ctrl  Controller
+	dec   Decision
+
+	budget
+
+	cycle        uint64
+	statsCycle0  uint64 // cycle at last ResetStats
+	age          uint64
+	totalCommits uint64
+	occSum       uint64 // Σ IQ occupancy per measured cycle
+
+	oracleTags     bool
+	intervalCycles uint64
+	sampleCycles   uint64
+
+	wheel    [wheelSize][]*uarch.Uop
+	flushReq []*uarch.Uop
+
+	// waitingCount tracks not-ready uops resident in the IQ.
+	waitingCount int
+
+	// Per-thread IQ ACE-bit attribution (ground truth): current
+	// resident bits and their per-cycle integral.
+	iqThreadAce [uarch.MaxThreads]uint64
+	iqThreadSum [uarch.MaxThreads]uint64
+
+	// AVF accounting.
+	iqTrue *avf.Accumulator
+	iqTag  *avf.Accumulator
+	robAcc *avf.Accumulator
+	robTag *avf.Accumulator
+	rfAcc  *avf.SpanAccumulator
+
+	// Per-cycle census (computed after writeback, before issue).
+	census uarch.Census
+
+	// Interval machinery.
+	intervals      []stats.Interval
+	rqHist         *stats.RQHistogram
+	ivStartCycle   uint64
+	ivStartCommits uint64
+	ivStartL2      uint64
+	ivStartTrue    uint64 // iqTrue.Sum() at interval start
+	ivStartTag     uint64
+	ivStartROB     uint64 // robAcc.Sum() at interval start
+	ivStartROBTag  uint64
+	ivReadySum     uint64
+	prevIPC        float64
+	prevMeanRQL    float64
+	prevL2         uint64
+
+	sampStartTag     uint64
+	sampStartROBTag  uint64
+	sampStartCycles  uint64
+	lastSampleAVF    float64
+	lastSampleROBAVF float64
+	sampleIdx        int
+
+	// Squashed-instruction tag accounting (Table 1's second accuracy
+	// figure): a squashed instruction's ground truth is un-ACE, so a
+	// set ACE tag is a false positive.
+	squashedTotal  uint64
+	squashedTagged uint64
+
+	// Per-class issue-queue accounting split by ACE tag: full
+	// dispatch→issue residency, and ready→issue wait (the portion the
+	// scheduler controls — VISA's lever).
+	resTaggedSum     uint64
+	resTaggedCount   uint64
+	resUntaggedSum   uint64
+	resUntaggedCount uint64
+	waitTaggedSum    uint64
+	waitUntaggedSum  uint64
+}
+
+// New builds a processor. The thread count is len(p.Streams).
+func New(p Params) (*Processor, error) {
+	if err := p.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Streams)
+	if n < 1 || n > uarch.MaxThreads {
+		return nil, fmt.Errorf("pipeline: %d threads outside 1..%d", n, uarch.MaxThreads)
+	}
+	if p.MaxInstructions == 0 {
+		return nil, fmt.Errorf("pipeline: zero instruction budget")
+	}
+	if p.MaxCycles == 0 {
+		p.MaxCycles = 64 * p.MaxInstructions
+	}
+	m := p.Machine
+	proc := &Processor{
+		cfg:    m,
+		n:      n,
+		iq:     uarch.NewIQ(m.IQSize),
+		fus:    uarch.NewFUPools(m.FUCount()),
+		mem:    cache.NewHierarchy(m),
+		bp:     branch.New(m.Branch, n),
+		sched:  p.Scheduler,
+		pol:    newPolicyState(p.Policy),
+		ctrl:   p.Controller,
+		dec:    NoDecision(),
+		iqTrue: avf.NewAccumulator(m.IQSize, avf.IQEntryBits),
+		iqTag:  avf.NewAccumulator(m.IQSize, avf.IQEntryBits),
+		robAcc: avf.NewAccumulator(n*m.ROBSize, avf.ROBEntryBits),
+		robTag: avf.NewAccumulator(n*m.ROBSize, avf.ROBEntryBits),
+		rfAcc:  avf.NewSpanAccumulator(n*64, avf.RegBits),
+		rqHist: stats.NewRQHistogram(m.IQSize),
+	}
+	for i := 0; i < n; i++ {
+		proc.threads = append(proc.threads, &thread{
+			id:      i,
+			stream:  p.Streams[i],
+			rob:     uarch.NewROB(m.ROBSize),
+			lsq:     uarch.NewLSQ(m.LSQSize),
+			fq:      newFetchQueue(m.FetchQueueSize),
+			pc:      program.CodeBase,
+			onTrace: true,
+		})
+	}
+	proc.maxInstructions = p.MaxInstructions
+	proc.maxCycles = p.MaxCycles
+	proc.warmup = p.WarmupInstructions
+	proc.oracleTags = p.OracleTags
+	proc.intervalCycles = IntervalCycles
+	if p.IntervalCycles > 0 {
+		proc.intervalCycles = uint64(p.IntervalCycles)
+	}
+	proc.sampleCycles = proc.intervalCycles / SampleDivisor
+	if proc.sampleCycles == 0 {
+		proc.sampleCycles = 1
+	}
+	return proc, nil
+}
+
+// Budget fields (kept off Params so Step can also be driven manually).
+type budget struct {
+	maxInstructions uint64
+	maxCycles       uint64
+	warmup          uint64
+}
+
+// Run simulates the warmup followed by the measured region and returns the
+// results.
+func (p *Processor) Run() *Results {
+	if p.warmup > 0 {
+		warmupCycleCap := p.cycle + 64*p.warmup
+		for p.totalCommits < p.warmup && p.cycle < warmupCycleCap {
+			p.Step()
+		}
+		p.ResetStats()
+	}
+	cycleCap := p.statsCycle0 + p.maxCycles
+	for p.totalCommits < p.maxInstructions && p.cycle < cycleCap {
+		p.Step()
+	}
+	return p.results()
+}
+
+// ResetStats zeroes all statistics while preserving machine state (cache,
+// predictor and queue contents survive): measurement starts here.
+func (p *Processor) ResetStats() {
+	p.statsCycle0 = p.cycle
+	p.totalCommits = 0
+	for _, t := range p.threads {
+		t.commits = 0
+		t.fetched = 0
+		t.wrongFetched = 0
+		t.squashed = 0
+		t.flushes = 0
+		t.mispredicts = 0
+		// Forget pre-measurement register lifetimes so RF spans are
+		// charged only within the measured region.
+		for r := range t.regs {
+			t.regs[r].valid = false
+		}
+	}
+	p.iqTrue.ResetStats()
+	p.iqTag.ResetStats()
+	p.robAcc.ResetStats()
+	p.robTag.ResetStats()
+	p.rfAcc.ResetStats()
+	for c := range p.fus.BusyCycles {
+		p.fus.BusyCycles[c] = 0
+		p.fus.BusyCyclesACE[c] = 0
+	}
+	p.mem.L2MissCount = 0
+	p.mem.L1I.Accesses, p.mem.L1I.Misses = 0, 0
+	p.mem.L1D.Accesses, p.mem.L1D.Misses = 0, 0
+	p.mem.L2.Accesses, p.mem.L2.Misses = 0, 0
+	p.mem.ITLB.Accesses, p.mem.ITLB.Misses = 0, 0
+	p.mem.DTLB.Accesses, p.mem.DTLB.Misses = 0, 0
+	p.bp.Lookups, p.bp.Mispredicts = 0, 0
+	p.squashedTotal, p.squashedTagged = 0, 0
+	p.occSum = 0
+	p.iqThreadAce = [uarch.MaxThreads]uint64{}
+	p.iqThreadSum = [uarch.MaxThreads]uint64{}
+	// Re-derive the resident per-thread ACE bits from the live queue.
+	p.iq.ForEach(func(u *uarch.Uop) {
+		p.iqThreadAce[u.Thread] += avf.IQBits(u.WrongPath, u.ACE)
+	})
+	p.resTaggedSum, p.resTaggedCount = 0, 0
+	p.resUntaggedSum, p.resUntaggedCount = 0, 0
+	p.waitTaggedSum, p.waitUntaggedSum = 0, 0
+
+	p.intervals = nil
+	p.rqHist = stats.NewRQHistogram(p.cfg.IQSize)
+	p.ivStartCycle = 0
+	p.ivStartCommits = 0
+	p.ivStartL2 = 0
+	p.ivStartTrue, p.ivStartTag = 0, 0
+	p.ivStartROB, p.ivStartROBTag = 0, 0
+	p.ivReadySum = 0
+	p.prevIPC, p.prevMeanRQL, p.prevL2 = 0, 0, 0
+	p.sampStartTag, p.sampStartROBTag, p.sampStartCycles = 0, 0, 0
+	p.lastSampleAVF, p.lastSampleROBAVF = 0, 0
+	p.sampleIdx = 0
+}
+
+// Step advances the machine one cycle.
+func (p *Processor) Step() {
+	now := p.cycle
+	p.commit(now)
+	p.complete(now)
+	p.census = p.iq.Census()
+	if p.ctrl != nil {
+		v := p.view(now)
+		p.dec = p.ctrl.Decide(&v)
+	} else {
+		p.dec = NoDecision()
+	}
+	p.issue(now)
+	p.processFlushes(now)
+	p.dispatch(now)
+	p.fetch(now)
+	p.account(now)
+	p.cycle++
+}
+
+// Cycle returns the current cycle number.
+func (p *Processor) Cycle() uint64 { return p.cycle }
+
+// TotalCommits returns the committed instruction count.
+func (p *Processor) TotalCommits() uint64 { return p.totalCommits }
+
+// IQ exposes the issue queue (tests and diagnostics).
+func (p *Processor) IQ() *uarch.IQ { return p.iq }
+
+// Memory exposes the cache hierarchy (tests and diagnostics).
+func (p *Processor) Memory() *cache.Hierarchy { return p.mem }
+
+// view assembles the controller-visible state.
+func (p *Processor) view(now uint64) View {
+	v := View{
+		Cycle:                  now,
+		NumThreads:             p.n,
+		IQSize:                 p.iq.Size(),
+		IQLen:                  p.iq.Len(),
+		ReadyLen:               p.census.Ready,
+		WaitingLen:             p.census.Waiting,
+		ReadyACETag:            p.census.ReadyACETag,
+		IntervalIndex:          len(p.intervals),
+		PrevIPC:                p.prevIPC,
+		PrevMeanReadyLen:       p.prevMeanRQL,
+		PrevL2Misses:           p.prevL2,
+		SampleIndex:            p.sampleIdx,
+		SampleAVFTag:           p.lastSampleAVF,
+		SampleROBAVFTag:        p.lastSampleROBAVF,
+		IntervalAVFTagSoFar:    p.iqTag.AVFSince(p.ivStartTag, p.ivStartCycle),
+		IntervalROBAVFTagSoFar: p.robTag.AVFSince(p.ivStartROBTag, p.ivStartCycle),
+	}
+	for i, t := range p.threads {
+		v.OutstandingL2[i] = t.outstandingL2
+		v.FetchQLen[i] = int32(t.fq.Len())
+		v.FetchQACETag[i] = t.fqACETag
+	}
+	return v
+}
+
+// account closes the cycle: AVF ticks, histogram, interval and sample
+// boundaries.
+func (p *Processor) account(now uint64) {
+	p.iqTrue.Tick()
+	p.iqTag.Tick()
+	p.robAcc.Tick()
+	p.robTag.Tick()
+	p.rfAcc.Tick()
+	p.rqHist.Observe(p.census.Ready, p.census.ReadyACE)
+	p.ivReadySum += uint64(p.census.Ready)
+	p.occSum += uint64(p.iq.Len())
+	for i := 0; i < p.n; i++ {
+		p.iqThreadSum[i] += p.iqThreadAce[i]
+	}
+
+	done := now + 1
+	if done%p.sampleCycles == 0 {
+		p.lastSampleAVF = p.iqTag.AVFSince(p.sampStartTag, p.sampStartCycles)
+		p.lastSampleROBAVF = p.robTag.AVFSince(p.sampStartROBTag, p.sampStartCycles)
+		p.sampStartTag = p.iqTag.Sum()
+		p.sampStartROBTag = p.robTag.Sum()
+		p.sampStartCycles = p.iqTag.Cycles()
+		p.sampleIdx++
+	}
+	if done%p.intervalCycles == 0 {
+		p.closeInterval()
+	}
+}
+
+func (p *Processor) closeInterval() {
+	cycles := p.iqTrue.Cycles() - p.ivStartCycle
+	if cycles == 0 {
+		return
+	}
+	commits := p.totalCommits - p.ivStartCommits
+	iv := stats.Interval{
+		Index:       len(p.intervals),
+		Cycles:      cycles,
+		Commits:     commits,
+		IPC:         float64(commits) / float64(cycles),
+		AvgReadyLen: float64(p.ivReadySum) / float64(cycles),
+		L2Misses:    p.mem.L2MissCount - p.ivStartL2,
+		IQAVF:       p.iqTrue.AVFSince(p.ivStartTrue, p.ivStartCycle),
+		IQAVFTagged: p.iqTag.AVFSince(p.ivStartTag, p.ivStartCycle),
+		ROBAVF:      p.robAcc.AVFSince(p.ivStartROB, p.ivStartCycle),
+	}
+	p.intervals = append(p.intervals, iv)
+	p.prevIPC = iv.IPC
+	p.prevMeanRQL = iv.AvgReadyLen
+	p.prevL2 = iv.L2Misses
+
+	p.ivStartCycle = p.iqTrue.Cycles()
+	p.ivStartCommits = p.totalCommits
+	p.ivStartL2 = p.mem.L2MissCount
+	p.ivStartTrue = p.iqTrue.Sum()
+	p.ivStartTag = p.iqTag.Sum()
+	p.ivStartROB = p.robAcc.Sum()
+	p.ivStartROBTag = p.robTag.Sum()
+	p.ivReadySum = 0
+}
+
+func (p *Processor) wheelPush(u *uarch.Uop, now uint64) {
+	d := u.CompleteAt - now
+	if d == 0 || d >= wheelSize {
+		panic(fmt.Sprintf("pipeline: completion delta %d outside wheel", d))
+	}
+	slot := u.CompleteAt % wheelSize
+	p.wheel[slot] = append(p.wheel[slot], u)
+}

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"testing"
+
+	"visasim/internal/uarch"
+)
+
+func TestPDGPredictorTraining(t *testing.T) {
+	ps := newPolicyState(PolicyPDG)
+	const pc = 0x40_0100
+	if ps.pdgPredictMiss(pc) {
+		t.Fatal("cold predictor predicts miss")
+	}
+	ps.pdgTrain(pc, true)
+	if ps.pdgPredictMiss(pc) {
+		t.Fatal("one miss should not saturate a 2-bit counter")
+	}
+	ps.pdgTrain(pc, true)
+	if !ps.pdgPredictMiss(pc) {
+		t.Fatal("two misses should predict miss")
+	}
+	ps.pdgTrain(pc, false)
+	ps.pdgTrain(pc, false)
+	if ps.pdgPredictMiss(pc) {
+		t.Fatal("hits should untrain the predictor")
+	}
+}
+
+func TestPDGDisabledForOtherPolicies(t *testing.T) {
+	ps := newPolicyState(PolicyICOUNT)
+	ps.pdgTrain(0x1000, true)
+	ps.pdgTrain(0x1000, true)
+	if ps.pdgPredictMiss(0x1000) {
+		t.Fatal("non-PDG policy allocated predictor state")
+	}
+}
+
+func TestGatingMatrix(t *testing.T) {
+	mk := func() *thread { return &thread{} }
+	cases := []struct {
+		kind  FetchPolicyKind
+		setup func(*thread)
+		gated bool
+	}{
+		{PolicyICOUNT, func(th *thread) { th.outstandingL2 = 3 }, false},
+		{PolicySTALL, func(th *thread) { th.outstandingL2 = 1 }, true},
+		{PolicySTALL, func(th *thread) {}, false},
+		{PolicyFLUSH, func(th *thread) { th.flushStall = true }, true},
+		{PolicyFLUSH, func(th *thread) { th.outstandingL2 = 1 }, true},
+		{PolicyDG, func(th *thread) { th.outstandingL1D = 1 }, true},
+		{PolicyDG, func(th *thread) { th.outstandingL2 = 1 }, false},
+		{PolicyPDG, func(th *thread) { th.pdgInFlight = 1 }, true},
+		{PolicyPDG, func(th *thread) { th.outstandingL1D = 5 }, false},
+	}
+	for i, c := range cases {
+		ps := newPolicyState(c.kind)
+		th := mk()
+		c.setup(th)
+		if got := ps.gated(th, false); got != c.gated {
+			t.Errorf("case %d (%v): gated=%v want %v", i, c.kind, got, c.gated)
+		}
+	}
+}
+
+func TestUseFlushOverridesAnyPolicy(t *testing.T) {
+	ps := newPolicyState(PolicyICOUNT)
+	th := &thread{outstandingL2: 1}
+	if ps.gated(th, false) {
+		t.Fatal("ICOUNT gated without flush override")
+	}
+	if !ps.gated(th, true) {
+		t.Fatal("useFlush must gate missing threads under any base policy")
+	}
+	if !ps.flushOnL2Miss(true) || ps.flushOnL2Miss(false) {
+		t.Fatal("flushOnL2Miss wrong for ICOUNT")
+	}
+	if !newPolicyState(PolicyFLUSH).flushOnL2Miss(false) {
+		t.Fatal("FLUSH policy must flush on L2 miss")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	want := map[FetchPolicyKind]string{
+		PolicyICOUNT: "ICOUNT", PolicySTALL: "STALL", PolicyFLUSH: "FLUSH",
+		PolicyDG: "DG", PolicyPDG: "PDG",
+	}
+	if len(AllPolicies()) != len(want) {
+		t.Fatal("AllPolicies incomplete")
+	}
+	for k, n := range want {
+		if k.String() != n {
+			t.Errorf("%d renders %q", k, k.String())
+		}
+	}
+}
+
+func TestWheelPushGuards(t *testing.T) {
+	p := &Processor{}
+	u := &uarch.Uop{CompleteAt: 100}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-delta wheel push must panic")
+		}
+	}()
+	p.wheelPush(u, 100)
+}

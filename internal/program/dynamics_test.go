@@ -1,0 +1,212 @@
+package program_test
+
+import (
+	"testing"
+
+	"visasim/internal/isa"
+	"visasim/internal/program"
+	"visasim/internal/trace"
+)
+
+// dynParams mirrors the internal test fixture for the external test package.
+func dynParams(seed uint64) program.Params {
+	return program.Params{
+		Name:          "dyn-test",
+		Seed:          seed,
+		StaticInstrs:  800,
+		Phases:        2,
+		LoopsPerPhase: 2,
+		LoopNestProb:  0.4,
+		TripMean:      12,
+		BlockLen:      6,
+		IfProb:        0.4,
+		IfBiasMean:    0.85,
+		IfBiasSpread:  0.1,
+		Routines:      2,
+		CallProb:      0.5,
+		Mix:           program.KindMix{IntALU: 0.5, Load: 0.25, Store: 0.12, Nop: 0.05, IntMul: 0.03},
+		DepMean:       5,
+		IndepFrac:     0.2,
+		DeadFrac:      0.15,
+		AccumFrac:     0.05,
+		Mem: program.MemParams{
+			LoadBufBytes: 512,
+			OutBufBytes:  1 << 20,
+			CommBufBytes: 512,
+			TempFrac:     0.2,
+			CommFrac:     0.3,
+			StrideBytes:  8,
+			RandomFrac:   0.05,
+		},
+	}
+}
+
+// runDynamic executes prog for n instructions and returns dynamic per-kind
+// counts. It lives here (with an import of trace) to validate generator
+// guarantees that only hold dynamically.
+func runDynamic(t *testing.T, prog *program.Program, n int) map[isa.Kind]int {
+	t.Helper()
+	exec := trace.NewExecutor(prog, 7, 0)
+	var d trace.DynInst
+	counts := map[isa.Kind]int{}
+	for i := 0; i < n; i++ {
+		exec.Next(&d)
+		counts[d.Static.Kind]++
+	}
+	return counts
+}
+
+// TestDynamicMixTracksWeights: loop amplification must not let any mix
+// class drift arbitrarily far from its static weight (the generator budgets
+// draws by expected dynamic weight).
+func TestDynamicMixTracksWeights(t *testing.T) {
+	p := dynParams(21)
+	p.StaticInstrs = 2000
+	p.Mix = program.KindMix{IntALU: 0.45, IntMul: 0.03, IntDiv: 0.01, Load: 0.25, Store: 0.12, Nop: 0.06}
+	prog := program.MustGenerate(p)
+	const n = 300_000
+	counts := runDynamic(t, prog, n)
+
+	// Structural instructions (branches etc.) dilute the mix classes;
+	// compare within the mix-drawn population.
+	mixTotal := 0
+	for _, k := range []isa.Kind{isa.IntALU, isa.IntMul, isa.IntDiv, isa.Load, isa.Store, isa.Nop} {
+		mixTotal += counts[k]
+	}
+	check := func(k isa.Kind, share float64) {
+		got := float64(counts[k]) / float64(mixTotal)
+		if got > share*3 || got < share/6 {
+			t.Errorf("%v: dynamic share %.3f vs target %.3f", k, got, share)
+		}
+	}
+	total := 0.45 + 0.03 + 0.01 + 0.25 + 0.12 + 0.06
+	check(isa.IntMul, 0.03/total)
+	check(isa.IntDiv, 0.01/total)
+	check(isa.Load, 0.25/total)
+	check(isa.Store, 0.12/total)
+	check(isa.Nop, 0.06/total)
+}
+
+// TestCommPairsReadBack: every communication store is followed, in the same
+// block, by a load on the same stream — dynamically they alternate, so the
+// load reads what the store wrote.
+func TestCommPairsReadBack(t *testing.T) {
+	p := dynParams(22)
+	p.Mem.CommFrac = 0.5
+	prog := program.MustGenerate(p)
+
+	// Statically: a store whose stream id is shared with a load must be
+	// immediately followed by that load.
+	streams := map[uint32][]int{} // stream -> instruction indices
+	for i, in := range prog.Instrs {
+		if in.Kind.IsMem() {
+			streams[in.MemPattern] = append(streams[in.MemPattern], i)
+		}
+	}
+	commPairs := 0
+	for _, idxs := range streams {
+		if len(idxs) != 2 {
+			continue
+		}
+		a, b := &prog.Instrs[idxs[0]], &prog.Instrs[idxs[1]]
+		if a.Kind == isa.Store && b.Kind == isa.Load {
+			commPairs++
+			if idxs[1] != idxs[0]+1 {
+				t.Errorf("comm pair %d/%d not adjacent", idxs[0], idxs[1])
+			}
+		}
+	}
+	if commPairs == 0 {
+		t.Fatal("no communication pairs generated at CommFrac=0.5")
+	}
+
+	// Dynamically: the pair's addresses coincide instance by instance.
+	exec := trace.NewExecutor(prog, 7, 0)
+	var d trace.DynInst
+	lastStoreAddr := map[uint32]uint64{}
+	checked := 0
+	for i := 0; i < 100_000; i++ {
+		exec.Next(&d)
+		if !d.Static.Kind.IsMem() {
+			continue
+		}
+		idxs := streams[d.Static.MemPattern]
+		if len(idxs) != 2 || prog.Instrs[idxs[0]].Kind != isa.Store || prog.Instrs[idxs[1]].Kind != isa.Load {
+			continue
+		}
+		if d.Static.Kind == isa.Store {
+			lastStoreAddr[d.Static.MemPattern] = d.Addr
+		} else if want, ok := lastStoreAddr[d.Static.MemPattern]; ok {
+			if d.Addr != want {
+				t.Fatalf("comm load read %#x, store wrote %#x", d.Addr, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no communication pairs executed")
+	}
+}
+
+// TestTempStoresShareScratch: all dead-temporary stores write one shared
+// buffer, so no final-iteration write survives to poison its tag.
+func TestTempStoresShareScratch(t *testing.T) {
+	p := dynParams(23)
+	p.Mem.TempFrac = 0.5
+	p.Mem.CommFrac = 0.1
+	prog := program.MustGenerate(p)
+	// The temp stream is the one shared by the most static stores.
+	users := map[uint32]int{}
+	for _, in := range prog.Instrs {
+		if in.Kind == isa.Store {
+			users[in.MemPattern]++
+		}
+	}
+	maxUsers := 0
+	for _, n := range users {
+		if n > maxUsers {
+			maxUsers = n
+		}
+	}
+	if maxUsers < 3 {
+		t.Fatalf("no shared temp stream (max users %d)", maxUsers)
+	}
+}
+
+// TestIfBranchBias: conditional outcomes track the generated biases.
+func TestIfBranchBias(t *testing.T) {
+	p := dynParams(24)
+	prog := program.MustGenerate(p)
+	exec := trace.NewExecutor(prog, 9, 0)
+	var d trace.DynInst
+	taken := map[uint32]int{}
+	execs := map[uint32]int{}
+	for i := 0; i < 200_000; i++ {
+		exec.Next(&d)
+		if d.Static.Kind != isa.Branch {
+			continue
+		}
+		if prog.Branch(d.Static).Class != program.BranchCond {
+			continue
+		}
+		execs[d.Static.BranchPattern]++
+		if d.Taken {
+			taken[d.Static.BranchPattern]++
+		}
+	}
+	checked := 0
+	for id, n := range execs {
+		if n < 200 {
+			continue
+		}
+		got := float64(taken[id]) / float64(n)
+		want := prog.Branches[id-1].TakenProb
+		if got < want-0.1 || got > want+0.1 {
+			t.Errorf("branch %d: taken rate %.2f vs bias %.2f (n=%d)", id, got, want, n)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no conditional branch executed often enough")
+	}
+}

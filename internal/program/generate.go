@@ -1,0 +1,747 @@
+package program
+
+import (
+	"fmt"
+
+	"visasim/internal/isa"
+	"visasim/internal/rng"
+)
+
+// KindMix weights the non-control instruction classes emitted inside basic
+// blocks. Weights need not sum to 1; they are normalised. Branches, jumps,
+// calls and returns are placed structurally by the CFG builder, not drawn
+// from the mix. The generator budgets draws by *expected dynamic execution
+// weight* (loop trip products), so the dynamic instruction mix tracks these
+// weights even though loops amplify some static instructions by orders of
+// magnitude.
+type KindMix struct {
+	IntALU float64
+	IntMul float64
+	IntDiv float64
+	Load   float64
+	Store  float64
+	FPALU  float64
+	FPMul  float64
+	FPDiv  float64
+	Nop    float64
+}
+
+func (m KindMix) total() float64 {
+	return m.IntALU + m.IntMul + m.IntDiv + m.Load + m.Store +
+		m.FPALU + m.FPMul + m.FPDiv + m.Nop
+}
+
+func (m KindMix) weights() [9]struct {
+	k isa.Kind
+	w float64
+} {
+	return [9]struct {
+		k isa.Kind
+		w float64
+	}{
+		{isa.IntALU, m.IntALU}, {isa.IntMul, m.IntMul}, {isa.IntDiv, m.IntDiv},
+		{isa.Load, m.Load}, {isa.Store, m.Store},
+		{isa.FPALU, m.FPALU}, {isa.FPMul, m.FPMul}, {isa.FPDiv, m.FPDiv},
+		{isa.Nop, m.Nop},
+	}
+}
+
+// fpShare returns the fraction of value traffic on the FP side, used to
+// decide how often stores write FP values.
+func (m KindMix) fpShare() float64 {
+	t := m.total()
+	if t == 0 {
+		return 0
+	}
+	return (m.FPALU + m.FPMul + m.FPDiv) / t
+}
+
+// MemParams shapes the program's data-memory behaviour. Every static
+// memory instruction owns a private buffer, so whether a store's data is
+// re-read before being overwritten — which decides its ACE-ness — is a
+// structural property of the code, as it is in real compiled programs,
+// rather than an accident of cursor interleaving:
+//
+//   - loads walk per-PC input buffers (LoadBufBytes each): small buffers
+//     stay cache-resident (compute-bound programs), multi-megabyte ones
+//     with high RandomFrac thrash the L2 (memory-bound programs);
+//   - a TempFrac of stores write small self-overwriting scratch buffers
+//     that nothing reads: dynamically dead stores;
+//   - a CommFrac of stores are paired with a load later in the same basic
+//     block walking the same buffer at the same rate: reliably re-read
+//     (communication through memory);
+//   - remaining stores write large append-style output buffers that do not
+//     wrap within the ACE analysis window: architecturally live results.
+type MemParams struct {
+	LoadBufBytes uint64 // per-load-PC input buffer size
+	OutBufBytes  uint64 // per-store output buffer size
+	CommBufBytes uint64 // per-pair communication buffer size
+	TempFrac     float64
+	CommFrac     float64
+	StrideBytes  uint64  // sequential step within a buffer
+	RandomFrac   float64 // random-access probability for input loads
+}
+
+// tempBufBytes is the scratch-buffer size for dead stores: small enough to
+// self-overwrite well inside the analysis window.
+const tempBufBytes = 512
+
+// Params fully determines a generated program.
+type Params struct {
+	Name string
+	Seed uint64
+
+	// StaticInstrs is the approximate size of the code image; code
+	// comfortably below the 8K-instruction L1I capacity mostly hits.
+	StaticInstrs int
+
+	// CFG shape.
+	Phases        int     // minimum top-level phases in the main loop
+	LoopsPerPhase int     // loops per phase
+	LoopNestProb  float64 // probability a loop contains a nested loop
+	TripMean      float64 // mean loop trip count
+	BlockLen      int     // mean straight-line block length
+	IfProb        float64 // probability of a forward conditional per block
+	IfBiasMean    float64 // mean taken-probability of forward conditionals
+	IfBiasSpread  float64 // uniform spread around IfBiasMean
+	Routines      int     // callable routines
+	CallProb      float64 // probability a phase calls a routine
+
+	Mix KindMix
+
+	// DepMean is the mean backward distance, in value-producing
+	// instructions, from which source operands are drawn. Short
+	// distances serialise execution (low ILP); long distances expose
+	// parallelism.
+	DepMean float64
+
+	// IndepFrac is the probability that a source operand is a constant
+	// (the zero register) rather than a recent value: it starts a fresh
+	// dependence strand, widening the dataflow. High values yield the
+	// large ready-queue populations of compute-bound SMT workloads
+	// (Figure 2 of the paper).
+	IndepFrac float64
+
+	// DeadFrac is the probability that a value-producing instruction
+	// writes a scratch register that no later instruction reads before
+	// it is overwritten, i.e. is dynamically dead (un-ACE).
+	DeadFrac float64
+
+	// AccumFrac is the probability that a loop-body value-producer
+	// targets the loop's accumulator register, which is read only
+	// after the loop exits: every instance but the last is dead. This
+	// is the paper's "un-ACE in early iterations, ACE in the last"
+	// case, and drives per-PC profiling false-positives (Table 1).
+	AccumFrac float64
+
+	Mem MemParams
+}
+
+// check reports parameter errors before generation.
+func (p Params) check() error {
+	switch {
+	case p.StaticInstrs < 64:
+		return fmt.Errorf("program %q: StaticInstrs %d too small", p.Name, p.StaticInstrs)
+	case p.Phases < 1 || p.LoopsPerPhase < 1 || p.BlockLen < 1:
+		return fmt.Errorf("program %q: non-positive CFG shape", p.Name)
+	case p.TripMean < 1:
+		return fmt.Errorf("program %q: TripMean %v < 1", p.Name, p.TripMean)
+	case p.Mix.total() <= 0:
+		return fmt.Errorf("program %q: empty kind mix", p.Name)
+	case p.DepMean < 1:
+		return fmt.Errorf("program %q: DepMean %v < 1", p.Name, p.DepMean)
+	case p.Mem.LoadBufBytes < 64 || p.Mem.OutBufBytes < 64 || p.Mem.CommBufBytes < 64:
+		return fmt.Errorf("program %q: memory buffers must be at least 64 bytes", p.Name)
+	case p.Mem.StrideBytes == 0:
+		return fmt.Errorf("program %q: zero stride", p.Name)
+	case p.Mem.TempFrac < 0 || p.Mem.CommFrac < 0 || p.Mem.TempFrac+p.Mem.CommFrac > 1:
+		return fmt.Errorf("program %q: store role fractions out of range", p.Name)
+	}
+	return nil
+}
+
+// Generate builds the program determined by p.
+func Generate(p Params) (*Program, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		params:   p,
+		prog:     &Program{Name: p.Name, Params: p},
+		layout:   rng.New(subSeed(p.Seed, seedLayout)),
+		dataflow: rng.New(subSeed(p.Seed, seedDataflow)),
+		memory:   rng.New(subSeed(p.Seed, seedMemory)),
+		branches: rng.New(subSeed(p.Seed, seedBranches)),
+		weight:   1,
+	}
+	g.buildStreams()
+	g.build()
+	if err := g.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("generate: %w", err)
+	}
+	return g.prog, nil
+}
+
+// MustGenerate is Generate, panicking on parameter errors. Intended for
+// static profiles that are validated by tests.
+func MustGenerate(p Params) *Program {
+	prog, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// maxLoopWeight caps the expected dynamic execution weight of any single
+// instruction (trip-count product of its enclosing loops): one deeply
+// nested hot loop must not dominate the dynamic instruction stream.
+const maxLoopWeight = 2000
+
+type generator struct {
+	params   Params
+	prog     *Program
+	layout   *rng.Source // CFG shape decisions
+	dataflow *rng.Source // register operand choices
+	memory   *rng.Source // memory stream assignment
+	branches *rng.Source // branch bias draws
+
+	// recent is a ring of recently written registers from which source
+	// operands are drawn; head is the next slot to overwrite. The ring
+	// is snapshotted/restored around loop bodies, if-blocks and
+	// routines so that dataflow crosses control boundaries only through
+	// the explicit mechanisms (accumulators, pre-loop values): this
+	// keeps per-PC liveness consistent across dynamic instances, which
+	// real compiled code exhibits and Table 1 measures.
+	recent [24]isa.Reg
+	head   int
+
+	// Round-robin destination allocation keeps register overwrite
+	// distances uniform (liveness windows deterministic).
+	nextInt int
+	nextFP  int
+
+	// protected counts, per register, how many enclosing control
+	// contexts (loop bodies, if-blocks) hold it live-through: a real
+	// compiler never allocates a loop temporary to a register carrying
+	// a live value across the loop. Writing a protected register would
+	// make first-iteration reads and last-iteration liveness depend on
+	// dynamic history, destroying per-PC tag consistency (Table 1).
+	protected [isa.NumRegs]int8
+
+	// loop context stack.
+	loops []loopCtx
+	// weight is the expected dynamic execution count of code emitted
+	// now (product of enclosing loops' trip means).
+	weight float64
+
+	// dynCount tracks expected dynamic instructions per kind for
+	// mix budgeting; dynTotal is their sum.
+	dynCount [isa.NumKinds]float64
+	dynTotal float64
+
+	// nextBase is the data-segment allocation cursor for per-PC
+	// buffers.
+	nextBase uint64
+	// tempStream is the shared scratch buffer all dead stores write
+	// (like stack slots reused across the whole program): each store's
+	// data is soon overwritten by another, so no tail of "still live"
+	// final writes survives to poison the PC tag.
+	tempStream uint32
+
+	routineStarts []int
+	pendingCalls  []int
+}
+
+type loopCtx struct {
+	counter isa.Reg
+	// lastOnly registers hold loop-body results consumed only after
+	// the loop exits: every dynamic instance but the final one is
+	// dynamically dead, the paper's canonical per-PC tagging
+	// false-positive (§2.1).
+	lastOnly []isa.Reg
+}
+
+type ringState struct {
+	recent [24]isa.Reg
+	head   int
+}
+
+func (g *generator) saveRing() ringState { return ringState{g.recent, g.head} }
+func (g *generator) restoreRing(s ringState) {
+	g.recent, g.head = s.recent, s.head
+}
+
+// protectRing marks every register currently visible in the source ring as
+// live-through for a nested context. Call unprotectRing with the same ring
+// state on context exit.
+func (g *generator) protectRing(s ringState) {
+	for _, r := range s.recent {
+		if r != isa.RegNone {
+			g.protected[r]++
+		}
+	}
+}
+
+func (g *generator) unprotectRing(s ringState) {
+	for _, r := range s.recent {
+		if r != isa.RegNone {
+			g.protected[r]--
+		}
+	}
+}
+func (g *generator) clearRing() {
+	for i := range g.recent {
+		g.recent[i] = isa.RegNone
+	}
+	g.head = 0
+}
+
+// Register allocation plan (64 architectural registers):
+//
+//	r0          hardwired zero
+//	r1          stack pointer (reserved)
+//	r2..r5      scratch (dead-write targets; never used as sources)
+//	r6..r13     loop counters / accumulators (rotating)
+//	r14..r31    integer general pool
+//	f0..f31     floating-point general pool (f == r32..r63)
+const (
+	scratchBase  = isa.Reg(2)
+	scratchCount = 4
+	loopRegBase  = isa.Reg(6)
+	loopRegCount = 8
+	intPoolBase  = isa.Reg(14)
+	intPoolCount = 18
+	fpPoolBase   = isa.FPBase
+	fpPoolCount  = 32
+)
+
+func (g *generator) buildStreams() {
+	g.prog.DataBase = 0x0000_0001_0000_0000
+	g.nextBase = g.prog.DataBase
+}
+
+// newStream allocates a private buffer of (at least) size bytes and returns
+// its 1-based stream id.
+func (g *generator) newStream(size uint64, randomFrac float64) uint32 {
+	size = nextPow2(size)
+	if size < 64 {
+		size = 64
+	}
+	stride := g.params.Mem.StrideBytes &^ 7
+	if stride == 0 {
+		stride = 8
+	}
+	g.prog.Streams = append(g.prog.Streams, MemMeta{
+		Base:       g.nextBase,
+		Mask:       size - 1,
+		Stride:     stride,
+		RandomFrac: randomFrac,
+	})
+	g.nextBase += size
+	return uint32(len(g.prog.Streams))
+}
+
+func nextPow2(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	n := uint64(1)
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// build lays out: main loop { phases } jump-back, then routine bodies.
+func (g *generator) build() {
+	g.clearRing()
+	// Emit at least Phases phases, continuing until the code image
+	// approaches its target size (leaving ~25% headroom for routines).
+	target := g.params.StaticInstrs * 3 / 4
+	for ph := 0; ph < g.params.Phases || len(g.prog.Instrs) < target; ph++ {
+		g.emitPhase()
+	}
+	// Close the infinite main loop.
+	g.emitCtl(isa.Jump, CodeBase, 0)
+
+	// Routine bodies. Each routine starts from an empty ring: its
+	// dataflow must not depend on which call site ran last.
+	for r := 0; r < g.params.Routines; r++ {
+		g.routineStarts = append(g.routineStarts, len(g.prog.Instrs))
+		g.clearRing()
+		g.emitBlock(g.blockLen())
+		if g.layout.Bool(0.7) {
+			g.emitLoop(1)
+		}
+		g.emitBlock(g.blockLen())
+		g.emitCtl(isa.Return, 0, 0)
+	}
+
+	// Patch call targets now that routine addresses are known.
+	for _, ci := range g.pendingCalls {
+		if len(g.routineStarts) == 0 {
+			g.prog.Instrs[ci].Target = g.prog.PCOf(ci + 1)
+			continue
+		}
+		r := g.layout.Intn(len(g.routineStarts))
+		g.prog.Instrs[ci].Target = g.prog.PCOf(g.routineStarts[r])
+	}
+}
+
+func (g *generator) emitPhase() {
+	g.emitBlock(g.blockLen())
+	for l := 0; l < g.params.LoopsPerPhase; l++ {
+		g.emitLoop(1)
+		if g.layout.Bool(g.params.IfProb) {
+			g.emitIf()
+		}
+	}
+	if g.params.Routines > 0 && g.layout.Bool(g.params.CallProb) {
+		g.pendingCalls = append(g.pendingCalls, len(g.prog.Instrs))
+		g.emitCtl(isa.Call, 0, 0) // target patched later
+	}
+	g.emitBlock(g.blockLen())
+}
+
+// loopTrip picks a trip mean for a loop at the current weight, respecting
+// the dynamic-weight cap.
+func (g *generator) loopTrip() float64 {
+	trip := g.params.TripMean * (0.5 + g.layout.Float64())
+	if trip < 2 {
+		trip = 2
+	}
+	if g.weight*trip > maxLoopWeight {
+		trip = maxLoopWeight / g.weight
+		if trip < 2 {
+			trip = 2
+		}
+	}
+	return trip
+}
+
+// pickLoopReg selects a loop-control register not used by any enclosing
+// loop (and not equal to avoid).
+func (g *generator) pickLoopReg(avoid isa.Reg) isa.Reg {
+	off := g.layout.Intn(loopRegCount)
+	for try := 0; try < loopRegCount; try++ {
+		r := loopRegBase + isa.Reg((off+try)%loopRegCount)
+		if r == avoid {
+			continue
+		}
+		inUse := false
+		for _, lc := range g.loops {
+			if lc.counter == r {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return r
+		}
+	}
+	return loopRegBase + isa.Reg(off)
+}
+
+// emitLoop emits: init counter; header: body ... counter++ ; branch header.
+func (g *generator) emitLoop(depth int) {
+	lr := g.pickLoopReg(isa.RegNone)
+	// counter = 0.
+	g.emit(isa.Inst{Kind: isa.IntALU, Dest: lr, Src1: isa.RegZero, Src2: isa.RegNone})
+
+	trip := g.loopTrip()
+	header := len(g.prog.Instrs)
+	g.loops = append(g.loops, loopCtx{counter: lr})
+	ring := g.saveRing()
+	g.protectRing(ring)
+	outerWeight := g.weight
+	g.weight *= trip
+
+	g.emitBlock(g.blockLen())
+	if g.layout.Bool(g.params.IfProb) {
+		g.emitIf()
+	}
+	if depth < 3 && g.weight*2 < maxLoopWeight && g.layout.Bool(g.params.LoopNestProb) {
+		g.emitLoop(depth + 1)
+	}
+	g.emitBlock(g.blockLen())
+
+	// counter = counter + 1 (loop-carried dependence), then back-edge.
+	g.emit(isa.Inst{Kind: isa.IntALU, Dest: lr, Src1: lr, Src2: isa.RegNone})
+	g.prog.Branches = append(g.prog.Branches, BranchMeta{
+		Class:    BranchLoop,
+		TripMean: trip,
+	})
+	g.emit(isa.Inst{
+		Kind:          isa.Branch,
+		Src1:          lr,
+		Dest:          isa.RegNone,
+		Src2:          isa.RegNone,
+		Target:        g.prog.PCOf(header),
+		BranchPattern: uint32(len(g.prog.Branches)),
+	})
+	g.weight = outerWeight
+	lc := g.loops[len(g.loops)-1]
+	g.loops = g.loops[:len(g.loops)-1]
+
+	// Post-loop code sees the pre-loop values; last-only registers are
+	// consumed exactly once here, so only their final iteration's write
+	// was architecturally required.
+	g.unprotectRing(ring)
+	g.restoreRing(ring)
+	for _, r := range lc.lastOnly {
+		g.protected[r]--
+		consume := isa.Inst{
+			Kind: isa.IntALU,
+			Dest: g.pickPoolReg(false),
+			Src1: r,
+			Src2: isa.RegNone,
+		}
+		g.emit(consume)
+		g.noteWrite(consume.Dest)
+		g.noteKind(isa.IntALU)
+	}
+}
+
+// emitIf emits a forward conditional skipping a short block. The skipped
+// block's values are consumed only inside it (ring restored after), so
+// per-PC liveness does not depend on the branch direction history.
+func (g *generator) emitIf() {
+	bias := g.params.IfBiasMean + (g.branches.Float64()*2-1)*g.params.IfBiasSpread
+	if bias < 0.02 {
+		bias = 0.02
+	}
+	if bias > 0.98 {
+		bias = 0.98
+	}
+	g.prog.Branches = append(g.prog.Branches, BranchMeta{
+		Class:     BranchCond,
+		TakenProb: bias,
+	})
+	bi := len(g.prog.Instrs)
+	g.emit(isa.Inst{
+		Kind:          isa.Branch,
+		Src1:          g.pickSource(false),
+		Dest:          isa.RegNone,
+		Src2:          isa.RegNone,
+		BranchPattern: uint32(len(g.prog.Branches)),
+	})
+	ring := g.saveRing()
+	g.protectRing(ring)
+	w := g.weight
+	g.weight *= 1 - bias // block executes on the not-taken path
+	skip := 2 + g.layout.Intn(g.params.BlockLen)
+	g.emitBlock(skip)
+	g.weight = w
+	g.unprotectRing(ring)
+	g.restoreRing(ring)
+	g.prog.Instrs[bi].Target = g.prog.PCOf(len(g.prog.Instrs))
+}
+
+// emitBlock emits n mix-drawn straight-line instructions.
+func (g *generator) emitBlock(n int) {
+	for i := 0; i < n; i++ {
+		g.emitMixInst()
+	}
+}
+
+func (g *generator) blockLen() int {
+	n := g.layout.Geometric(float64(g.params.BlockLen))
+	if n > 4*g.params.BlockLen {
+		n = 4 * g.params.BlockLen
+	}
+	return n
+}
+
+func (g *generator) emitMixInst() {
+	k := g.drawKind()
+	in := isa.Inst{Kind: k, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	fp := k.IsFP()
+	mem := g.params.Mem
+	switch k {
+	case isa.Nop:
+	case isa.Load:
+		in.Dest = g.pickDest(fp)
+		in.Src1 = g.pickSource(false) // index/base dependence
+		in.MemPattern = g.newStream(mem.LoadBufBytes, mem.RandomFrac)
+	case isa.Store:
+		// Stores drain FP values in proportion to the FP share of
+		// the mix, so FP dataflow chains reach an anchor.
+		fpVal := g.dataflow.Bool(g.params.Mix.fpShare() * 2)
+		in.Src1 = g.pickSource(fpVal) // value
+		in.Src2 = g.pickSource(false) // address dependence
+		r := g.dataflow.Float64()
+		switch {
+		case r < mem.TempFrac:
+			// Dead temporary: all temp stores share one tiny
+			// scratch buffer that nothing reads and everything
+			// overwrites.
+			if g.tempStream == 0 {
+				g.tempStream = g.newStream(tempBufBytes, 0)
+			}
+			in.MemPattern = g.tempStream
+			g.emit(in)
+			return
+		case r < mem.TempFrac+mem.CommFrac:
+			// Communication through memory: pair with a load
+			// later in this block walking the same buffer at the
+			// same rate, so the stored value is reliably read.
+			in.MemPattern = g.newStream(mem.CommBufBytes, 0)
+			g.emit(in)
+			ld := isa.Inst{
+				Kind:       isa.Load,
+				Dest:       g.pickDest(fpVal),
+				Src1:       g.pickSource(false),
+				Src2:       isa.RegNone,
+				MemPattern: in.MemPattern,
+			}
+			g.emit(ld)
+			g.noteWrite(ld.Dest)
+			g.noteKind(isa.Load)
+			return
+		default:
+			// Output: append-style buffer that does not wrap
+			// within the analysis window.
+			in.MemPattern = g.newStream(mem.OutBufBytes, 0)
+		}
+	default: // ALU-class
+		in.Dest = g.pickDest(fp)
+		in.Src1 = g.pickSource(fp)
+		if g.dataflow.Bool(0.6) {
+			in.Src2 = g.pickSource(fp)
+		}
+	}
+	g.emit(in)
+	if in.HasDest() {
+		g.noteWrite(in.Dest)
+	}
+}
+
+// drawKind samples the mix, rejecting kinds whose expected dynamic share
+// already exceeds their target (hot loops would otherwise skew the dynamic
+// mix arbitrarily far from the static one).
+func (g *generator) drawKind() isa.Kind {
+	weights := g.params.Mix.weights()
+	total := g.params.Mix.total()
+	for try := 0; try < 8; try++ {
+		x := g.dataflow.Float64() * total
+		k := isa.IntALU
+		for _, wk := range weights {
+			if x < wk.w {
+				k = wk.k
+				break
+			}
+			x -= wk.w
+		}
+		share := 0.0
+		for _, wk := range weights {
+			if wk.k == k {
+				share = wk.w / total
+				break
+			}
+		}
+		if g.dynTotal > 64 && g.dynCount[k]+g.weight > 1.3*share*(g.dynTotal+g.weight) {
+			continue // this kind is already dynamically over-represented
+		}
+		g.noteKind(k)
+		return k
+	}
+	g.noteKind(isa.IntALU)
+	return isa.IntALU
+}
+
+// pickDest chooses a destination register: scratch (dead), the enclosing
+// loop's accumulator, or the general pool.
+func (g *generator) pickDest(fp bool) isa.Reg {
+	if !fp && g.dataflow.Bool(g.params.DeadFrac) {
+		return scratchBase + isa.Reg(g.dataflow.Intn(scratchCount))
+	}
+	if !fp && len(g.loops) > 0 && g.dataflow.Bool(g.params.AccumFrac) {
+		lc := &g.loops[len(g.loops)-1]
+		maxLastOnly := 1 + int(g.params.AccumFrac*20)
+		if len(lc.lastOnly) < maxLastOnly && (len(lc.lastOnly) == 0 || g.dataflow.Bool(0.3)) {
+			r := g.pickPoolReg(false)
+			g.protected[r]++ // reserve against ordinary pool reuse
+			lc.lastOnly = append(lc.lastOnly, r)
+			return r
+		}
+		return lc.lastOnly[g.dataflow.Intn(len(lc.lastOnly))]
+	}
+	return g.pickPoolReg(fp)
+}
+
+// pickPoolReg allocates pool registers round-robin (uniform value
+// lifetimes), skipping registers protected as live-through by enclosing
+// contexts. If every pool register is protected — possible only in deeply
+// nested code — the round-robin choice is used regardless.
+func (g *generator) pickPoolReg(fp bool) isa.Reg {
+	base, count, next := intPoolBase, intPoolCount, &g.nextInt
+	if fp {
+		base, count, next = fpPoolBase, fpPoolCount, &g.nextFP
+	}
+	for try := 0; try < count; try++ {
+		r := base + isa.Reg(*next)
+		*next = (*next + 1) % count
+		if g.protected[r] == 0 {
+			return r
+		}
+	}
+	r := base + isa.Reg(*next)
+	*next = (*next + 1) % count
+	return r
+}
+
+// pickSource draws a source register from recently written registers with a
+// geometric backward-distance distribution (mean DepMean). When the ring
+// holds no value of the wanted class, the source degrades to the zero
+// register (no dataflow) rather than aliasing an arbitrary pool register,
+// which would make liveness depend on dynamic history.
+func (g *generator) pickSource(fp bool) isa.Reg {
+	if g.dataflow.Bool(g.params.IndepFrac) {
+		return isa.RegZero
+	}
+	n := len(g.recent)
+	d := g.dataflow.Geometric(g.params.DepMean)
+	if d > n {
+		d = n
+	}
+	for try := 0; try < n; try++ {
+		idx := ((g.head-d-try)%n + 2*n) % n
+		r := g.recent[idx]
+		if r != isa.RegNone && r.IsFP() == fp {
+			return r
+		}
+	}
+	if len(g.loops) > 0 && !fp && g.dataflow.Bool(0.5) {
+		return g.loops[len(g.loops)-1].counter
+	}
+	return isa.RegZero
+}
+
+func (g *generator) noteWrite(r isa.Reg) {
+	// Scratch registers never enter the source ring: their writes stay
+	// dead by construction.
+	if r >= scratchBase && r < scratchBase+scratchCount {
+		return
+	}
+	g.recent[g.head] = r
+	g.head = (g.head + 1) % len(g.recent)
+}
+
+// noteKind charges one instruction of kind k against the dynamic-mix
+// budget at the current loop weight.
+func (g *generator) noteKind(k isa.Kind) {
+	g.dynCount[k] += g.weight
+	g.dynTotal += g.weight
+}
+
+func (g *generator) emitCtl(k isa.Kind, target uint64, pattern uint32) {
+	g.emit(isa.Inst{
+		Kind: k, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone,
+		Target: target, BranchPattern: pattern,
+	})
+}
+
+func (g *generator) emit(in isa.Inst) {
+	in.PC = g.prog.PCOf(len(g.prog.Instrs))
+	g.prog.Instrs = append(g.prog.Instrs, in)
+}

@@ -1,0 +1,125 @@
+// Package report renders experiment results as aligned ASCII tables and
+// simple bar series, matching the rows and series the paper's tables and
+// figures present.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; cells beyond the column count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		cells = cells[:len(t.Columns)]
+	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, float64
+// format with prec decimals, everything else via %v.
+func (t *Table) AddRowf(prec int, cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.*f", prec, v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar renders v in [0,max] as a text bar of the given width.
+func Bar(v, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// WriteCSV writes a header and rows as RFC-4180-ish CSV. Cells containing
+// commas or quotes are quoted.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

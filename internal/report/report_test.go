@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "2")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title + underline + header + separator + 2 rows.
+	if len(lines) != 6 {
+		t.Fatalf("%d lines:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Fatal("missing title")
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[2], "value")
+	if idx < 0 {
+		t.Fatal("missing header")
+	}
+	if lines[4][idx] != '1' || lines[5][idx] != '2' {
+		t.Fatalf("misaligned columns:\n%s", s)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf(2, "x", 1.2345, 7)
+	s := tb.String()
+	for _, want := range []string{"x", "1.23", "7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestAddRowTruncates(t *testing.T) {
+	tb := NewTable("", "only")
+	tb.AddRow("a", "b", "c")
+	if len(tb.Rows[0]) != 1 {
+		t.Fatal("row not truncated to column count")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 1, 10); got != "#####....." {
+		t.Fatalf("bar %q", got)
+	}
+	if got := Bar(2, 1, 4); got != "####" {
+		t.Fatalf("overflow bar %q", got)
+	}
+	if got := Bar(-1, 1, 4); got != "...." {
+		t.Fatalf("negative bar %q", got)
+	}
+	if got := Bar(1, 0, 4); got != "####" {
+		t.Fatalf("zero-max bar %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.423); got != "42.3%" {
+		t.Fatalf("pct %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"a", "b"}, [][]string{{"1", "x,y"}, {"2", `q"u`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n2,\"q\"\"u\"\n"
+	if b.String() != want {
+		t.Fatalf("csv %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,107 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Simulations must be bit-reproducible across runs and across the parallel
+// experiment harness, so every component that needs randomness owns its own
+// generator seeded from (benchmark, thread, purpose) identifiers rather than
+// sharing global state.
+package rng
+
+// Source is a splitmix64/xoshiro-style 64-bit generator. The zero value is
+// not usable; construct with New.
+type Source struct {
+	s0, s1 uint64
+}
+
+// New returns a generator seeded from seed. Distinct seeds (including
+// adjacent integers) produce decorrelated streams: the seed is scrambled
+// through two rounds of splitmix64 before use.
+func New(seed uint64) *Source {
+	var s Source
+	s.Reseed(seed)
+	return &s
+}
+
+// Reseed resets the generator to the state derived from seed.
+func (s *Source) Reseed(seed uint64) {
+	s.s0 = splitmix64(&seed)
+	s.s1 = splitmix64(&seed)
+	if s.s0 == 0 && s.s1 == 0 {
+		s.s0 = 0x9E3779B97F4A7C15
+	}
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits (xoroshiro128+).
+func (s *Source) Uint64() uint64 {
+	a, b := s.s0, s.s1
+	r := a + b
+	b ^= a
+	s.s0 = rotl(a, 24) ^ b ^ (b << 16)
+	s.s1 = rotl(b, 37)
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (m >= 1): the number of trials until first success with p = 1/m,
+// clamped to at least 1.
+func (s *Source) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1 / m
+	n := 1
+	for !s.Bool(p) && n < int(16*m)+1 {
+		n++
+	}
+	return n
+}
+
+// Hash64 deterministically mixes two 64-bit values into one; useful for
+// deriving per-object seeds from a base seed and an identifier.
+func Hash64(a, b uint64) uint64 {
+	x := a ^ 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x ^= b
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// HashString deterministically hashes a string to 64 bits (FNV-1a).
+func HashString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,191 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestReseed(t *testing.T) {
+	a := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = a.Uint64()
+	}
+	a.Reseed(7)
+	for i := range first {
+		if got := a.Uint64(); got != first[i] {
+			t.Fatalf("draw %d after reseed: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSeedsDecorrelated(t *testing.T) {
+	// Adjacent seeds must not produce overlapping prefixes.
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if s.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 2 {
+		t.Fatalf("seed 0 produced %d zero draws", zeros)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %v", p)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(13)
+	for _, mean := range []float64{1, 2, 5, 20, 100} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := s.Geometric(mean)
+			if v < 1 {
+				t.Fatalf("Geometric(%v) = %d < 1", mean, v)
+			}
+			sum += float64(v)
+		}
+		got := sum / n
+		if mean == 1 {
+			if got != 1 {
+				t.Fatalf("Geometric(1) mean %v, want exactly 1", got)
+			}
+			continue
+		}
+		if got < 0.8*mean || got > 1.2*mean {
+			t.Fatalf("Geometric(%v) mean %v", mean, got)
+		}
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2) != Hash64(1, 2) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1, 2) == Hash64(2, 1) {
+		t.Fatal("Hash64 symmetric (should not be)")
+	}
+}
+
+func TestHashString(t *testing.T) {
+	if HashString("mcf") == HashString("gcc") {
+		t.Fatal("distinct names hashed equal")
+	}
+	if HashString("") == 0 {
+		t.Fatal("empty string hashed to zero offset")
+	}
+}
+
+// Property: Uint64 streams from equal seeds are equal, from different seeds
+// differ within a short prefix.
+func TestQuickSeedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 8; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		c, d := New(seed), New(seed+1)
+		diff := false
+		for i := 0; i < 8; i++ {
+			if c.Uint64() != d.Uint64() {
+				diff = true
+			}
+		}
+		return diff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intn stays in range for arbitrary positive n.
+func TestQuickIntnProperty(t *testing.T) {
+	s := New(99)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

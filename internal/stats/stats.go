@@ -1,0 +1,179 @@
+// Package stats collects and summarises simulation statistics: per-interval
+// records (the paper samples every 10K cycles), ready-queue histograms
+// (Figure 2), throughput and harmonic IPC, and the percentage-of-
+// vulnerability-emergencies (PVE) metric used to evaluate DVM.
+package stats
+
+// Interval is one sampling interval's record.
+type Interval struct {
+	Index   int
+	Cycles  uint64
+	Commits uint64
+	// IPC is the interval's committed instructions per cycle.
+	IPC float64
+	// AvgReadyLen is the mean ready-queue length over the interval.
+	AvgReadyLen float64
+	// L2Misses is the number of data L2 miss events in the interval.
+	L2Misses uint64
+	// IQAVF is the interval's ground-truth IQ AVF.
+	IQAVF float64
+	// IQAVFTagged is the interval AVF estimated from per-PC tags (what
+	// DVM's online estimator sees).
+	IQAVFTagged float64
+	// ROBAVF is the interval's ground-truth reorder-buffer AVF (used by
+	// the ROB-DVM extension).
+	ROBAVF float64
+}
+
+// ThroughputIPC returns total commits per cycle.
+func ThroughputIPC(commits []uint64, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range commits {
+		total += c
+	}
+	return float64(total) / float64(cycles)
+}
+
+// HarmonicIPC returns the harmonic mean of per-thread IPCs multiplied by
+// the thread count (Luo et al., ISPASS 2001): a throughput-style number
+// that collapses when any thread is starved, so it rewards fairness.
+func HarmonicIPC(commits []uint64, cycles uint64) float64 {
+	if cycles == 0 || len(commits) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, c := range commits {
+		if c == 0 {
+			return 0
+		}
+		inv += float64(cycles) / float64(c)
+	}
+	return float64(len(commits)) * float64(len(commits)) / inv
+}
+
+// PVE returns the fraction of intervals whose ground-truth IQ AVF exceeds
+// threshold — the percentage of vulnerability emergencies.
+func PVE(intervals []Interval, threshold float64) float64 {
+	if len(intervals) == 0 {
+		return 0
+	}
+	n := 0
+	for _, iv := range intervals {
+		if iv.IQAVF > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(intervals))
+}
+
+// MaxIQAVF returns the maximum interval IQ AVF observed — the paper's
+// MaxIQ_AVF reference point for DVM thresholds.
+func MaxIQAVF(intervals []Interval) float64 {
+	m := 0.0
+	for _, iv := range intervals {
+		if iv.IQAVF > m {
+			m = iv.IQAVF
+		}
+	}
+	return m
+}
+
+// MeanIQAVF returns the cycle-weighted mean interval IQ AVF.
+func MeanIQAVF(intervals []Interval) float64 {
+	var sum float64
+	var cycles uint64
+	for _, iv := range intervals {
+		sum += iv.IQAVF * float64(iv.Cycles)
+		cycles += iv.Cycles
+	}
+	if cycles == 0 {
+		return 0
+	}
+	return sum / float64(cycles)
+}
+
+// RQHistogram accumulates the joint distribution of ready-queue length and
+// ready-ACE counts per cycle (Figure 2 of the paper).
+type RQHistogram struct {
+	// Cycles[l] counts cycles with ready-queue length l.
+	Cycles []uint64
+	// ACESum[l] sums the number of ready ACE instructions over those
+	// cycles.
+	ACESum []uint64
+	total  uint64
+}
+
+// NewRQHistogram returns a histogram for ready-queue lengths 0..maxLen.
+func NewRQHistogram(maxLen int) *RQHistogram {
+	return &RQHistogram{
+		Cycles: make([]uint64, maxLen+1),
+		ACESum: make([]uint64, maxLen+1),
+	}
+}
+
+// Observe records one cycle with ready-queue length l, of which ace are
+// ACE instructions.
+func (h *RQHistogram) Observe(l, ace int) {
+	if l >= len(h.Cycles) {
+		l = len(h.Cycles) - 1
+	}
+	h.Cycles[l]++
+	h.ACESum[l] += uint64(ace)
+	h.total++
+}
+
+// Frac returns the fraction of cycles with ready-queue length l.
+func (h *RQHistogram) Frac(l int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Cycles[l]) / float64(h.total)
+}
+
+// ACEPct returns the mean ACE percentage among ready instructions at
+// length l (0 when l was never observed or l == 0).
+func (h *RQHistogram) ACEPct(l int) float64 {
+	if l == 0 || h.Cycles[l] == 0 {
+		return 0
+	}
+	return 100 * float64(h.ACESum[l]) / (float64(h.Cycles[l]) * float64(l))
+}
+
+// MaxObserved returns the largest length with nonzero cycle count.
+func (h *RQHistogram) MaxObserved() int {
+	for l := len(h.Cycles) - 1; l >= 0; l-- {
+		if h.Cycles[l] > 0 {
+			return l
+		}
+	}
+	return 0
+}
+
+// MeanLen returns the mean ready-queue length.
+func (h *RQHistogram) MeanLen() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum uint64
+	for l, c := range h.Cycles {
+		sum += uint64(l) * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// MeanACEPct returns the overall mean ACE percentage among ready
+// instructions across all cycles with a nonempty ready queue.
+func (h *RQHistogram) MeanACEPct() float64 {
+	var ace, all uint64
+	for l := 1; l < len(h.Cycles); l++ {
+		ace += h.ACESum[l]
+		all += uint64(l) * h.Cycles[l]
+	}
+	if all == 0 {
+		return 0
+	}
+	return 100 * float64(ace) / float64(all)
+}

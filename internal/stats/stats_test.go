@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThroughputIPC(t *testing.T) {
+	if got := ThroughputIPC([]uint64{100, 200, 300}, 200); got != 3 {
+		t.Fatalf("IPC %v", got)
+	}
+	if ThroughputIPC([]uint64{1}, 0) != 0 {
+		t.Fatal("zero cycles must yield 0")
+	}
+}
+
+func TestHarmonicIPC(t *testing.T) {
+	// Equal threads: harmonic IPC equals throughput IPC.
+	if got, want := HarmonicIPC([]uint64{100, 100}, 100), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("equal-thread harmonic %v, want %v", got, want)
+	}
+	// Unequal threads: harmonic below throughput (fairness penalty).
+	thru := ThroughputIPC([]uint64{300, 10}, 100)
+	harm := HarmonicIPC([]uint64{300, 10}, 100)
+	if harm >= thru {
+		t.Fatalf("harmonic %v should be below throughput %v", harm, thru)
+	}
+	// A starved thread zeroes it.
+	if HarmonicIPC([]uint64{100, 0}, 100) != 0 {
+		t.Fatal("starved thread should zero harmonic IPC")
+	}
+}
+
+func TestPVE(t *testing.T) {
+	ivs := []Interval{
+		{IQAVF: 0.1}, {IQAVF: 0.3}, {IQAVF: 0.5}, {IQAVF: 0.7},
+	}
+	if got := PVE(ivs, 0.4); got != 0.5 {
+		t.Fatalf("PVE %v", got)
+	}
+	if PVE(nil, 0.4) != 0 {
+		t.Fatal("empty intervals")
+	}
+	if PVE(ivs, 0.7) != 0 {
+		t.Fatal("threshold equal to max should not count")
+	}
+}
+
+func TestMaxAndMeanIQAVF(t *testing.T) {
+	ivs := []Interval{
+		{IQAVF: 0.2, Cycles: 10},
+		{IQAVF: 0.6, Cycles: 30},
+	}
+	if got := MaxIQAVF(ivs); got != 0.6 {
+		t.Fatalf("max %v", got)
+	}
+	want := (0.2*10 + 0.6*30) / 40
+	if got := MeanIQAVF(ivs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean %v want %v", got, want)
+	}
+}
+
+func TestRQHistogram(t *testing.T) {
+	h := NewRQHistogram(16)
+	h.Observe(0, 0)
+	h.Observe(4, 2)
+	h.Observe(4, 4)
+	h.Observe(8, 8)
+	if got := h.Frac(4); got != 0.5 {
+		t.Fatalf("frac %v", got)
+	}
+	// Two cycles at length 4 with 2 and 4 ACE of 4 ready each:
+	// (2+4)/(2*4) = 75%.
+	if got := h.ACEPct(4); got != 75 {
+		t.Fatalf("ACE%% %v", got)
+	}
+	if got := h.MaxObserved(); got != 8 {
+		t.Fatalf("max %d", got)
+	}
+	if got := h.MeanLen(); got != (0+4+4+8)/4.0 {
+		t.Fatalf("mean %v", got)
+	}
+	// Overall ACE%: (2+4+8)/(4+4+8).
+	if got, want := h.MeanACEPct(), 100*14.0/16.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean ACE%% %v want %v", got, want)
+	}
+}
+
+func TestRQHistogramClamp(t *testing.T) {
+	h := NewRQHistogram(4)
+	h.Observe(100, 3) // clamps to the top bucket
+	if h.Cycles[4] != 1 {
+		t.Fatal("overflow observation lost")
+	}
+}
+
+func TestACEPctEdge(t *testing.T) {
+	h := NewRQHistogram(4)
+	if h.ACEPct(0) != 0 || h.ACEPct(3) != 0 {
+		t.Fatal("unobserved lengths must report 0")
+	}
+}

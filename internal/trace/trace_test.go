@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"testing"
+
+	"visasim/internal/isa"
+	"visasim/internal/program"
+)
+
+func testProgram(seed uint64) *program.Program {
+	return program.MustGenerate(program.Params{
+		Name:          "trace-test",
+		Seed:          seed,
+		StaticInstrs:  600,
+		Phases:        2,
+		LoopsPerPhase: 2,
+		LoopNestProb:  0.3,
+		TripMean:      10,
+		BlockLen:      6,
+		IfProb:        0.4,
+		IfBiasMean:    0.8,
+		IfBiasSpread:  0.1,
+		Routines:      2,
+		CallProb:      0.6,
+		Mix:           program.KindMix{IntALU: 0.5, Load: 0.25, Store: 0.12, Nop: 0.05},
+		DepMean:       5,
+		IndepFrac:     0.2,
+		DeadFrac:      0.15,
+		AccumFrac:     0.05,
+		Mem: program.MemParams{
+			LoadBufBytes: 512, OutBufBytes: 1 << 20, CommBufBytes: 512,
+			TempFrac: 0.2, CommFrac: 0.3, StrideBytes: 8, RandomFrac: 0.05,
+		},
+	})
+}
+
+func TestExecutorDeterministic(t *testing.T) {
+	prog := testProgram(1)
+	a := NewExecutor(prog, 7, 0)
+	b := NewExecutor(prog, 7, 0)
+	var da, db DynInst
+	for i := 0; i < 20000; i++ {
+		a.Next(&da)
+		b.Next(&db)
+		if da != db {
+			t.Fatalf("streams diverged at %d: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+func TestExecutorSequenceNumbers(t *testing.T) {
+	prog := testProgram(2)
+	e := NewExecutor(prog, 1, 0)
+	var d DynInst
+	for i := uint64(0); i < 5000; i++ {
+		e.Next(&d)
+		if d.Seq != i {
+			t.Fatalf("seq %d at step %d", d.Seq, i)
+		}
+		if d.Static == nil {
+			t.Fatal("nil static instruction")
+		}
+	}
+	if e.Seq() != 5000 {
+		t.Fatalf("Seq() = %d", e.Seq())
+	}
+}
+
+func TestControlFlowConsistency(t *testing.T) {
+	prog := testProgram(3)
+	e := NewExecutor(prog, 1, 0)
+	var d DynInst
+	prevNext := uint64(program.CodeBase)
+	for i := 0; i < 50000; i++ {
+		e.Next(&d)
+		if d.Static.PC != prevNext {
+			t.Fatalf("step %d: fetched %#x, expected successor %#x", i, d.Static.PC, prevNext)
+		}
+		switch d.Static.Kind {
+		case isa.Branch:
+			want := d.Static.FallThrough()
+			if d.Taken {
+				want = d.Static.Target
+			}
+			if d.NextPC != want {
+				t.Fatalf("branch NextPC %#x, want %#x", d.NextPC, want)
+			}
+		case isa.Jump, isa.Call:
+			if !d.Taken || d.NextPC != d.Static.Target {
+				t.Fatalf("jump/call must go to target")
+			}
+		case isa.Return:
+			if !d.Taken {
+				t.Fatal("return must be taken")
+			}
+		default:
+			if d.NextPC != d.Static.FallThrough() {
+				t.Fatalf("%v NextPC %#x, want fall-through", d.Static.Kind, d.NextPC)
+			}
+		}
+		prevNext = d.NextPC
+	}
+}
+
+func TestCallReturnPairing(t *testing.T) {
+	prog := testProgram(4)
+	e := NewExecutor(prog, 1, 0)
+	var d DynInst
+	var stack []uint64
+	for i := 0; i < 100000; i++ {
+		e.Next(&d)
+		switch d.Static.Kind {
+		case isa.Call:
+			stack = append(stack, d.Static.FallThrough())
+		case isa.Return:
+			if len(stack) == 0 {
+				t.Fatal("return without call")
+			}
+			want := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if d.NextPC != want {
+				t.Fatalf("return to %#x, want %#x", d.NextPC, want)
+			}
+		}
+	}
+}
+
+func TestAddressesInsideBuffers(t *testing.T) {
+	prog := testProgram(5)
+	e := NewExecutor(prog, 1, 0)
+	var d DynInst
+	for i := 0; i < 50000; i++ {
+		e.Next(&d)
+		if !d.Static.Kind.IsMem() {
+			continue
+		}
+		meta := prog.Stream(d.Static)
+		if d.Addr < meta.Base || d.Addr > meta.Base+meta.Mask {
+			t.Fatalf("address %#x outside buffer [%#x, %#x]", d.Addr, meta.Base, meta.Base+meta.Mask)
+		}
+		if d.Addr%8 != 0 {
+			t.Fatalf("address %#x not word aligned", d.Addr)
+		}
+	}
+}
+
+func TestThreadAddressTag(t *testing.T) {
+	prog := testProgram(6)
+	e0 := NewExecutor(prog, 1, 0)
+	e3 := NewExecutor(prog, 1, 3)
+	var d0, d3 DynInst
+	for i := 0; i < 20000; i++ {
+		e0.Next(&d0)
+		e3.Next(&d3)
+		if d0.Static != d3.Static || d0.Taken != d3.Taken {
+			t.Fatal("thread tag changed control flow")
+		}
+		if d0.Static.Kind.IsMem() {
+			if d0.Addr^d3.Addr != 3<<40 {
+				t.Fatalf("tags differ unexpectedly: %#x vs %#x", d0.Addr, d3.Addr)
+			}
+		}
+	}
+}
+
+func TestWrongPathAddrDoesNotPerturb(t *testing.T) {
+	prog := testProgram(7)
+	a := NewExecutor(prog, 1, 0)
+	b := NewExecutor(prog, 1, 0)
+	var da, db DynInst
+	// Interleave wrong-path draws on b only.
+	var anyMem *isa.Inst
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Kind.IsMem() {
+			anyMem = &prog.Instrs[i]
+			break
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		a.Next(&da)
+		if i%3 == 0 {
+			b.WrongPathAddr(anyMem)
+		}
+		b.Next(&db)
+		if da != db {
+			t.Fatalf("wrong-path draws perturbed the committed stream at %d", i)
+		}
+	}
+}
+
+func TestLoopTripsFollowMeta(t *testing.T) {
+	prog := testProgram(8)
+	e := NewExecutor(prog, 1, 0)
+	var d DynInst
+	// Track consecutive takens per loop branch; exits end a run.
+	trips := map[uint32][]int{}
+	run := map[uint32]int{}
+	for i := 0; i < 200000; i++ {
+		e.Next(&d)
+		if d.Static.Kind != isa.Branch {
+			continue
+		}
+		meta := prog.Branch(d.Static)
+		if meta.Class != program.BranchLoop {
+			continue
+		}
+		id := d.Static.BranchPattern
+		if d.Taken {
+			run[id]++
+		} else {
+			trips[id] = append(trips[id], run[id]+1)
+			run[id] = 0
+		}
+	}
+	checked := 0
+	for id, ts := range trips {
+		if len(ts) < 10 {
+			continue
+		}
+		mean := 0.0
+		for _, v := range ts {
+			mean += float64(v)
+		}
+		mean /= float64(len(ts))
+		want := prog.Branches[id-1].TripMean
+		if mean < want/3 || mean > want*3 {
+			t.Errorf("loop %d trip mean %.1f, meta %.1f", id, mean, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no loops observed enough exits")
+	}
+}

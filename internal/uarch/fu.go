@@ -1,0 +1,63 @@
+package uarch
+
+import "visasim/internal/isa"
+
+// FUPools models the function-unit complement of Table 2. ALU-class units
+// are fully pipelined (a unit accepts a new operation every cycle); divide
+// units block for the operation's full latency.
+type FUPools struct {
+	// freeAt[c] holds, per unit of class c, the first cycle the unit
+	// can accept a new operation.
+	freeAt [isa.NumFUClasses][]uint64
+
+	// Busy-cycle accounting for utilisation stats and FU AVF.
+	BusyCycles    [isa.NumFUClasses]uint64
+	BusyCyclesACE [isa.NumFUClasses]uint64
+}
+
+// NewFUPools builds pools with counts[c] units per class.
+func NewFUPools(counts [int(isa.NumFUClasses)]int) *FUPools {
+	p := &FUPools{}
+	for c := range counts {
+		p.freeAt[c] = make([]uint64, counts[c])
+	}
+	return p
+}
+
+// pipelined reports whether kind k's unit accepts a new op next cycle.
+func pipelined(k isa.Kind) bool { return k != isa.IntDiv && k != isa.FPDiv }
+
+// TryIssue claims a unit of u's class at cycle now. It returns false when
+// every unit of the class is occupied this cycle.
+func (p *FUPools) TryIssue(u *Uop, now uint64) bool {
+	class := u.Kind().FU()
+	units := p.freeAt[class]
+	for i := range units {
+		if units[i] <= now {
+			lat := uint64(u.Kind().Latency())
+			if pipelined(u.Kind()) {
+				units[i] = now + 1
+			} else {
+				units[i] = now + lat
+			}
+			p.BusyCycles[class] += lat
+			if u.ACE {
+				p.BusyCyclesACE[class] += lat
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Units returns the unit count of class c.
+func (p *FUPools) Units(c isa.FUClass) int { return len(p.freeAt[c]) }
+
+// TotalUnits returns the total unit count.
+func (p *FUPools) TotalUnits() int {
+	n := 0
+	for c := range p.freeAt {
+		n += len(p.freeAt[c])
+	}
+	return n
+}

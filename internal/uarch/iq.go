@@ -1,0 +1,178 @@
+package uarch
+
+import "sort"
+
+// Scheduler selects which ready instructions issue each cycle.
+type Scheduler uint8
+
+// Issue scheduling policies.
+const (
+	// SchedOldestFirst is the conventional baseline: ready instructions
+	// issue oldest (fetch order) first, regardless of vulnerability.
+	SchedOldestFirst Scheduler = iota
+	// SchedVISA is the paper's Vulnerable-InStruction-Aware policy:
+	// ready ACE-tagged instructions bypass all ready un-ACE-tagged
+	// instructions; within each class, issue proceeds in program
+	// (age) order. Un-ACE instructions fill whatever issue slots the
+	// ACE instructions leave free.
+	SchedVISA
+)
+
+func (s Scheduler) String() string {
+	if s == SchedVISA {
+		return "visa"
+	}
+	return "oldest-first"
+}
+
+// IQ is the shared issue queue: a fixed pool of slots holding dispatched,
+// not-yet-issued uops from all threads. The "ready queue" and "waiting
+// queue" of the paper are views over these slots (ready = all operands
+// available).
+type IQ struct {
+	slots []*Uop
+	free  []int32 // free-slot stack
+	count int
+
+	perThread [MaxThreads]int
+
+	// candidates is the reusable per-cycle ready list.
+	candidates []*Uop
+}
+
+// NewIQ returns an issue queue with size slots.
+func NewIQ(size int) *IQ {
+	q := &IQ{
+		slots:      make([]*Uop, size),
+		free:       make([]int32, size),
+		candidates: make([]*Uop, 0, size),
+	}
+	for i := range q.free {
+		q.free[i] = int32(size - 1 - i)
+	}
+	return q
+}
+
+// Size returns the queue capacity.
+func (q *IQ) Size() int { return len(q.slots) }
+
+// Len returns the current occupancy.
+func (q *IQ) Len() int { return q.count }
+
+// ThreadLen returns the occupancy contributed by thread t.
+func (q *IQ) ThreadLen(t int) int { return q.perThread[t] }
+
+// Full reports whether no slot is free.
+func (q *IQ) Full() bool { return q.count == len(q.slots) }
+
+// Insert places u into a free slot. It panics if the queue is full or the
+// uop is already resident — callers gate on Full().
+func (q *IQ) Insert(u *Uop) {
+	if q.count == len(q.slots) {
+		panic("uarch: IQ insert into full queue")
+	}
+	if u.IQSlot >= 0 {
+		panic("uarch: IQ double insert")
+	}
+	slot := q.free[len(q.free)-1]
+	q.free = q.free[:len(q.free)-1]
+	q.slots[slot] = u
+	u.IQSlot = slot
+	u.Stage = StageInIQ
+	q.count++
+	q.perThread[u.Thread]++
+}
+
+// Remove frees u's slot (on issue or squash).
+func (q *IQ) Remove(u *Uop) {
+	if u.IQSlot < 0 || q.slots[u.IQSlot] != u {
+		panic("uarch: IQ remove of non-resident uop")
+	}
+	q.free = append(q.free, u.IQSlot)
+	q.slots[u.IQSlot] = nil
+	u.IQSlot = -1
+	q.count--
+	q.perThread[u.Thread]--
+}
+
+// Census counts resident uops: ready vs waiting, and how many of the ready
+// ones are ACE (by ground truth and by tag). This is the paper's
+// ready-queue/waiting-queue instrumentation (Figure 2) and feeds the
+// dynamic resource allocation and DVM mechanisms.
+type Census struct {
+	Ready        int
+	Waiting      int
+	ReadyACE     int // ground truth
+	ReadyACETag  int
+	ResidentACE  int // ground truth, whole IQ
+	ResidentTags int
+}
+
+// Census scans the queue.
+func (q *IQ) Census() Census {
+	var c Census
+	for _, u := range q.slots {
+		if u == nil {
+			continue
+		}
+		if u.Ready() {
+			c.Ready++
+			if u.ACE {
+				c.ReadyACE++
+			}
+			if u.ACETag {
+				c.ReadyACETag++
+			}
+		} else {
+			c.Waiting++
+		}
+		if u.ACE {
+			c.ResidentACE++
+		}
+		if u.ACETag {
+			c.ResidentTags++
+		}
+	}
+	return c
+}
+
+// ReadyCandidates fills the scheduler's per-cycle candidate list with all
+// ready resident uops ordered per policy. The returned slice is reused
+// across calls.
+func (q *IQ) ReadyCandidates(sched Scheduler) []*Uop {
+	cands := q.candidates[:0]
+	for _, u := range q.slots {
+		if u != nil && u.Ready() {
+			cands = append(cands, u)
+		}
+	}
+	switch sched {
+	case SchedVISA:
+		sort.Slice(cands, func(i, j int) bool {
+			a, b := cands[i], cands[j]
+			if a.ACETag != b.ACETag {
+				return a.ACETag // ACE-tagged first
+			}
+			return a.Age < b.Age
+		})
+	default:
+		sort.Slice(cands, func(i, j int) bool {
+			return cands[i].Age < cands[j].Age
+		})
+	}
+	q.candidates = cands
+	return cands
+}
+
+// ForEach visits every resident uop.
+func (q *IQ) ForEach(f func(*Uop)) {
+	for _, u := range q.slots {
+		if u != nil {
+			f(u)
+		}
+	}
+}
+
+// At returns the uop in slot i, or nil if the slot is free. Fault-injection
+// campaigns use it to strike a uniformly random entry.
+func (q *IQ) At(i int) *Uop { return q.slots[i] }

@@ -1,0 +1,172 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"visasim/internal/isa"
+	"visasim/internal/rng"
+)
+
+// TestQuickROBMatchesSlice drives the ROB ring and a plain slice with
+// identical random push/pop/pop-tail sequences.
+func TestQuickROBMatchesSlice(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		r := NewROB(16)
+		var ref []*Uop
+		src := rng.New(seed)
+		age := uint64(0)
+		for i := 0; i < int(n%600)+50; i++ {
+			switch src.Intn(3) {
+			case 0:
+				if r.Full() {
+					continue
+				}
+				u := mkUop(isa.IntALU, age, 0)
+				age++
+				r.Push(u)
+				ref = append(ref, u)
+			case 1:
+				if r.Empty() {
+					continue
+				}
+				if got := r.Pop(); got != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			default:
+				if r.Empty() {
+					continue
+				}
+				if got := r.PopTail(); got != ref[len(ref)-1] {
+					return false
+				}
+				ref = ref[:len(ref)-1]
+			}
+			if r.Len() != len(ref) {
+				return false
+			}
+			if len(ref) > 0 && (r.Head() != ref[0] || r.Tail() != ref[len(ref)-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIQSlotConsistency: after arbitrary insert/remove sequences, the
+// queue's census and per-thread counts match a reference multiset.
+func TestQuickIQSlotConsistency(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		q := NewIQ(12)
+		src := rng.New(seed)
+		var live []*Uop
+		perThread := map[int32]int{}
+		age := uint64(0)
+		for i := 0; i < int(n%600)+50; i++ {
+			if src.Bool(0.55) && !q.Full() {
+				u := mkUop(isa.IntALU, age, int32(src.Intn(4)))
+				age++
+				if src.Bool(0.4) {
+					u.SrcPending = 1
+				}
+				q.Insert(u)
+				live = append(live, u)
+				perThread[u.Thread]++
+			} else if len(live) > 0 {
+				idx := src.Intn(len(live))
+				u := live[idx]
+				q.Remove(u)
+				live = append(live[:idx], live[idx+1:]...)
+				perThread[u.Thread]--
+			}
+			if q.Len() != len(live) {
+				return false
+			}
+			for tid, want := range perThread {
+				if q.ThreadLen(int(tid)) != want {
+					return false
+				}
+			}
+			c := q.Census()
+			ready := 0
+			for _, u := range live {
+				if u.Ready() {
+					ready++
+				}
+			}
+			if c.Ready != ready || c.Waiting != len(live)-ready {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVISAOrderProperty: for any ready set, the VISA candidate order
+// is (tagged before untagged) and age-sorted within each class.
+func TestQuickVISAOrderProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		q := NewIQ(64)
+		src := rng.New(seed)
+		for i := 0; i < int(n%60)+2; i++ {
+			u := mkUop(isa.IntALU, src.Uint64()%1000, 0)
+			u.ACETag = src.Bool(0.5)
+			q.Insert(u)
+		}
+		cands := q.ReadyCandidates(SchedVISA)
+		seenUntagged := false
+		var prev *Uop
+		for _, u := range cands {
+			if u.ACETag && seenUntagged {
+				return false
+			}
+			if !u.ACETag {
+				seenUntagged = true
+			}
+			if prev != nil && prev.ACETag == u.ACETag && prev.Age > u.Age {
+				return false
+			}
+			prev = u
+		}
+		return len(cands) == q.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFUNeverOversubscribed: per cycle, accepted issues never exceed
+// the unit count for pipelined classes.
+func TestQuickFUNeverOversubscribed(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := NewFUPools([5]int{3, 1, 2, 1, 1})
+		src := rng.New(seed)
+		for cyc := uint64(0); cyc < 200; cyc++ {
+			accepted := map[isa.FUClass]int{}
+			tries := src.Intn(10) + 1
+			for i := 0; i < tries; i++ {
+				kinds := []isa.Kind{isa.IntALU, isa.IntMul, isa.Load, isa.FPALU, isa.FPMul, isa.IntDiv}
+				u := mkUop(kinds[src.Intn(len(kinds))], cyc, 0)
+				if p.TryIssue(u, cyc) {
+					accepted[u.Kind().FU()]++
+				}
+			}
+			for c, n := range accepted {
+				if n > p.Units(c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package uarch
+
+// ROB is one thread's reorder buffer: a FIFO ring of in-flight uops in
+// program (fetch) order. Dispatch appends at the tail; commit pops from the
+// head; squash truncates the tail back to a branch.
+type ROB struct {
+	buf  []*Uop
+	head int
+	len  int
+}
+
+// NewROB returns a reorder buffer with size entries.
+func NewROB(size int) *ROB {
+	return &ROB{buf: make([]*Uop, size)}
+}
+
+// Size returns the capacity.
+func (r *ROB) Size() int { return len(r.buf) }
+
+// Len returns the occupancy.
+func (r *ROB) Len() int { return r.len }
+
+// Full reports whether no entry is free.
+func (r *ROB) Full() bool { return r.len == len(r.buf) }
+
+// Empty reports whether the buffer holds nothing.
+func (r *ROB) Empty() bool { return r.len == 0 }
+
+// Push appends u at the tail. It panics when full.
+func (r *ROB) Push(u *Uop) {
+	if r.Full() {
+		panic("uarch: ROB push into full buffer")
+	}
+	r.buf[(r.head+r.len)%len(r.buf)] = u
+	r.len++
+}
+
+// Head returns the oldest uop, or nil.
+func (r *ROB) Head() *Uop {
+	if r.len == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+// Pop removes and returns the oldest uop. It panics when empty.
+func (r *ROB) Pop() *Uop {
+	if r.len == 0 {
+		panic("uarch: ROB pop from empty buffer")
+	}
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.len--
+	return u
+}
+
+// Tail returns the youngest uop, or nil.
+func (r *ROB) Tail() *Uop {
+	if r.len == 0 {
+		return nil
+	}
+	return r.buf[(r.head+r.len-1)%len(r.buf)]
+}
+
+// PopTail removes and returns the youngest uop (squash path). It panics
+// when empty.
+func (r *ROB) PopTail() *Uop {
+	if r.len == 0 {
+		panic("uarch: ROB pop-tail from empty buffer")
+	}
+	i := (r.head + r.len - 1) % len(r.buf)
+	u := r.buf[i]
+	r.buf[i] = nil
+	r.len--
+	return u
+}
+
+// ForEach visits uops oldest to youngest.
+func (r *ROB) ForEach(f func(*Uop)) {
+	for i := 0; i < r.len; i++ {
+		f(r.buf[(r.head+i)%len(r.buf)])
+	}
+}

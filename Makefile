@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments examples fmt vet clean
+.PHONY: all build test test-short test-race bench bench-throughput golden experiments examples fmt vet clean
 
 all: build test
 
@@ -15,8 +15,25 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-enabled pass over the whole module; the harness determinism test
+# exercises the worker pool under the race detector. The race detector's
+# ~10x slowdown pushes the experiments package past go test's default
+# 10-minute budget, hence the explicit timeout.
+test-race:
+	$(GO) test -race -timeout 45m ./...
+
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Simulator-throughput benchmark only; writes machine-readable results to
+# BENCH_pr1.json for regression tracking across PRs.
+bench-throughput:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFaultInjection' -benchmem -bench-json BENCH_pr1.json .
+
+# Regenerates testdata/golden from current simulator behaviour. Only run
+# after a deliberate modelling change; commit the diff with an explanation.
+golden:
+	$(GO) test -run TestGolden -update .
 
 # Regenerates every table and figure at the recorded budget (see
 # EXPERIMENTS.md). Takes several minutes.

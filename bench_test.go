@@ -9,7 +9,12 @@
 package visasim
 
 import (
+	"encoding/json"
+	"flag"
+	"os"
+	"sync"
 	"testing"
+	"time"
 
 	"visasim/internal/ace"
 	"visasim/internal/config"
@@ -159,34 +164,96 @@ func BenchmarkAblationIQSize(b *testing.B) {
 }
 
 func BenchmarkFaultInjection(b *testing.B) {
+	var instrs uint64
+	var simTime time.Duration
 	for i := 0; i < b.N; i++ {
 		proc := newBenchProcessor(b, workload.Mixes()[0].Benchmarks[:])
+		t0 := time.Now()
 		c, err := inject.Run(proc, inject.Options{
 			Instructions:     benchBudget,
 			StrikesPerKCycle: 400,
 			Seed:             uint64(i),
 		})
+		simTime += time.Since(t0)
 		if err != nil {
 			b.Fatal(err)
 		}
+		instrs += benchBudget
 		b.ReportMetric(100*c.EmpiricalAVF(), "empirical-avf-%")
 		b.ReportMetric(100*c.MeasuredAVF, "accounted-avf-%")
 	}
+	recordBench(b, "FaultInjection", 0, instrs, simTime)
 }
 
 // --- substrate micro-benchmarks -------------------------------------------
 
+// benchJSONPath, when set, makes the throughput benchmarks append their
+// results to a machine-readable JSON file (see `make bench-throughput`,
+// which writes BENCH_pr1.json) so throughput regressions are diffable
+// across PRs.
+var benchJSONPath = flag.String("bench-json", "", "write throughput benchmark records to this JSON file")
+
+// benchRecord is one benchmark's machine-readable result.
+type benchRecord struct {
+	Cycles       uint64  // simulated cycles across all iterations
+	Instructions uint64  // committed instructions across all iterations
+	Seconds      float64 // wall-clock spent simulating
+	CyclesPerSec float64
+	InstrsPerSec float64
+}
+
+var (
+	benchRecMu sync.Mutex
+	benchRecs  = map[string]benchRecord{}
+)
+
+// recordBench stores a benchmark record and rewrites the JSON file (maps
+// marshal with sorted keys, so the output is stable).
+func recordBench(b *testing.B, name string, cycles, instrs uint64, elapsed time.Duration) {
+	b.Helper()
+	if *benchJSONPath == "" || elapsed <= 0 {
+		return
+	}
+	rec := benchRecord{
+		Cycles:       cycles,
+		Instructions: instrs,
+		Seconds:      elapsed.Seconds(),
+		CyclesPerSec: float64(cycles) / elapsed.Seconds(),
+		InstrsPerSec: float64(instrs) / elapsed.Seconds(),
+	}
+	benchRecMu.Lock()
+	defer benchRecMu.Unlock()
+	benchRecs[name] = rec
+	blob, err := json.MarshalIndent(benchRecs, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*benchJSONPath, append(blob, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSimulatorThroughput measures simulated cycles per second on the
 // CPU group A workload: the figure that bounds every experiment's cost.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles, instrs uint64
+	var simTime time.Duration
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		proc := newBenchProcessor(b, workload.Mixes()[0].Benchmarks[:])
 		b.StartTimer()
+		t0 := time.Now()
 		res := proc.Run()
+		simTime += time.Since(t0)
+		cycles += res.Cycles
+		instrs += res.TotalCommits()
 		b.ReportMetric(float64(res.Cycles), "cycles/op")
 		b.ReportMetric(float64(res.TotalCommits()), "instrs/op")
 	}
+	if simTime > 0 {
+		b.ReportMetric(float64(cycles)/simTime.Seconds(), "cycles/sec")
+	}
+	recordBench(b, "SimulatorThroughput", cycles, instrs, simTime)
 }
 
 func BenchmarkTraceExecutor(b *testing.B) {

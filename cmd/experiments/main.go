@@ -6,28 +6,37 @@
 //	experiments [-n budget] [-workers N] [targets...]
 //
 // Targets: fig1 fig2 fig5 fig6 fig8 fig9 fig10 table1 table2 table3 all
-// (default: all). The shapes — not the absolute values — are the
-// reproduction target; EXPERIMENTS.md records the comparison against the
-// paper.
+// (default: all), plus `bench`, which measures simulator throughput and
+// writes machine-readable records (see -bench-json, -cpuprofile). The
+// shapes — not the absolute values — are the reproduction target;
+// EXPERIMENTS.md records the comparison against the paper.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
+	"visasim/internal/core"
 	"visasim/internal/experiments"
+	"visasim/internal/harness"
+	"visasim/internal/pipeline"
+	"visasim/internal/workload"
 )
 
 func main() {
 	var (
-		budget  = flag.Uint64("n", experiments.DefaultBudget, "instructions per simulation")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		csvDir  = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		budget    = flag.Uint64("n", experiments.DefaultBudget, "instructions per simulation")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		csvDir    = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		benchJSON = flag.String("bench-json", "BENCH_pr1.json", "where the bench target writes throughput records")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the bench target to this file")
 	)
 	flag.Parse()
 
@@ -40,6 +49,16 @@ func main() {
 
 	for _, tgt := range targets {
 		start := time.Now()
+		if tgt == "bench" {
+			out, err := runBench(p, *benchJSON, *cpuProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+			fmt.Fprintf(os.Stderr, "[bench done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		out, csv, err := run(tgt, p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", tgt, err)
@@ -177,4 +196,74 @@ func run(target string, p experiments.Params) (string, csvWriter, error) {
 	default:
 		return "", nil, fmt.Errorf("unknown target %q", target)
 	}
+}
+
+// runBench measures simulator throughput (not simulated-machine behaviour):
+// one baseline cell per workload category, run through the harness so the
+// numbers include everything an experiment pays for. Records are written to
+// jsonPath in the same schema as `make bench-throughput` (BENCH_pr1.json),
+// keyed "throughput/<mix>", plus a "total" row covering the whole batch.
+func runBench(p experiments.Params, jsonPath, cpuProfile string) (string, error) {
+	var cells []harness.Cell
+	for _, name := range []string{"CPU-A", "MIX-A", "MEM-A"} {
+		for _, m := range workload.Mixes() {
+			if m.Name != name {
+				continue
+			}
+			cells = append(cells, harness.Cell{
+				Key: "throughput/" + m.Name,
+				Cfg: core.Config{
+					Benchmarks:      m.Benchmarks[:],
+					Scheme:          core.SchemeBase,
+					Policy:          pipeline.PolicyICOUNT,
+					MaxInstructions: p.Budget,
+				},
+			})
+		}
+	}
+	t0 := time.Now()
+	_, stats, err := harness.RunStats(cells, harness.Options{
+		Workers:    p.Workers,
+		CPUProfile: cpuProfile,
+	})
+	if err != nil {
+		return "", err
+	}
+	wall := time.Since(t0).Seconds()
+
+	total := harness.CellStats{Seconds: wall}
+	for _, st := range stats {
+		total.Cycles += st.Cycles
+		total.Instructions += st.Instructions
+	}
+	if wall > 0 {
+		total.CyclesPerSec = float64(total.Cycles) / wall
+		total.InstrsPerSec = float64(total.Instructions) / wall
+	}
+	records := map[string]harness.CellStats{"total": total}
+	for k, st := range stats {
+		records[k] = st
+	}
+	blob, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+
+	keys := make([]string, 0, len(records))
+	for k := range records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulator throughput (budget %d, written to %s):\n", p.Budget, jsonPath)
+	fmt.Fprintf(&b, "%-20s %12s %12s %10s %14s\n", "cell", "cycles", "instrs", "seconds", "cycles/sec")
+	for _, k := range keys {
+		st := records[k]
+		fmt.Fprintf(&b, "%-20s %12d %12d %10.3f %14.0f\n",
+			k, st.Cycles, st.Instructions, st.Seconds, st.CyclesPerSec)
+	}
+	return b.String(), nil
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"visasim/internal/config"
 	"visasim/internal/core"
 	"visasim/internal/pipeline"
 	"visasim/internal/workload"
@@ -33,6 +34,7 @@ func main() {
 		ratio      = flag.Float64("dvm-static-ratio", 1.5, "wq_ratio for the static DVM variant")
 		intervals  = flag.Bool("intervals", false, "print per-interval statistics")
 		jsonOut    = flag.Bool("json", false, "emit the full result as JSON instead of text")
+		cfgPath    = flag.String("config", "", "machine configuration JSON file (default: the paper's machine)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,17 @@ func main() {
 		MaxInstructions: *budget,
 		Warmup:          *warmup,
 		DVMStaticRatio:  *ratio,
+	}
+	if *cfgPath != "" {
+		data, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := config.Parse(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *cfgPath, err))
+		}
+		cfg.Machine = &m
 	}
 	if scheme == core.SchemeDVM || scheme == core.SchemeDVMStatic {
 		// DVM needs an absolute target: derive it from a baseline run.

@@ -1,0 +1,157 @@
+package visasim
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"visasim/internal/ace"
+	"visasim/internal/config"
+	"visasim/internal/core"
+	"visasim/internal/harness"
+	"visasim/internal/inject"
+	"visasim/internal/pipeline"
+	"visasim/internal/trace"
+	"visasim/internal/uarch"
+	"visasim/internal/workload"
+)
+
+// determinismCells is a small batch spanning schemes and policies; every
+// cell must produce the identical result regardless of the worker schedule
+// it runs under.
+func determinismCells() []harness.Cell {
+	cpuA := []string{"bzip2", "eon", "gcc", "perlbmk"}
+	memA := []string{"mcf", "equake", "vpr", "swim"}
+	const budget = 12_000
+	return []harness.Cell{
+		{Key: "base", Cfg: core.Config{Benchmarks: cpuA, Scheme: core.SchemeBase, Policy: pipeline.PolicyICOUNT, MaxInstructions: budget}},
+		{Key: "visa", Cfg: core.Config{Benchmarks: cpuA, Scheme: core.SchemeVISA, Policy: pipeline.PolicyICOUNT, MaxInstructions: budget}},
+		{Key: "opt2", Cfg: core.Config{Benchmarks: memA, Scheme: core.SchemeVISAOpt2, Policy: pipeline.PolicyFLUSH, MaxInstructions: budget}},
+		{Key: "dvm", Cfg: core.Config{Benchmarks: memA, Scheme: core.SchemeDVM, Policy: pipeline.PolicyICOUNT, DVMTarget: 0.04, MaxInstructions: budget}},
+	}
+}
+
+// serializeBatch reduces a harness result map to a canonical byte form
+// (keyed summaries, deterministic field order via the goldenSummary
+// projection plus the result metadata).
+func serializeBatch(t *testing.T, res harness.Results) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(res))
+	for key, r := range res {
+		blob, err := json.Marshal(struct {
+			Summary goldenSummary
+			Scheme  string
+			ACEFrac float64
+			TagAcc  float64
+		}{summarize(r), r.Scheme.String(), r.ProfileACEFraction, r.CommittedTagAccuracy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[key] = string(blob)
+	}
+	return out
+}
+
+// TestHarnessWorkerCountInvariance runs the same batch serially and fully
+// parallel: the worker schedule must never leak into results. (This is the
+// property that lets the experiment harness parallelise sweeps at all, and
+// the test -race exercises the worker pool for data races.)
+func TestHarnessWorkerCountInvariance(t *testing.T) {
+	cells := determinismCells()
+	serial, err := harness.Run(cells, harness.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := harness.Run(cells, harness.Options{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serializeBatch(t, serial), serializeBatch(t, parallel)
+	if len(a) != len(b) {
+		t.Fatalf("result count differs: %d serial vs %d parallel", len(a), len(b))
+	}
+	for key, want := range a {
+		if got := b[key]; got != want {
+			t.Errorf("cell %s differs across worker counts\nserial:   %s\nparallel: %s", key, want, got)
+		}
+	}
+}
+
+// newInjectProcessor builds a fresh default-machine processor for an
+// injection campaign.
+func newInjectProcessor(t *testing.T, names []string, budget uint64) *pipeline.Processor {
+	t.Helper()
+	streams := make([]*trace.Stream, len(names))
+	for i, name := range names {
+		b, err := workload.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := b.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := ace.Run(prog, b.Params.Seed, 0, budget+8192, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof.Apply(prog)
+		streams[i] = trace.NewStream(trace.NewExecutor(prog, b.Params.Seed, i), prof.Bits)
+	}
+	proc, err := pipeline.New(pipeline.Params{
+		Machine:         config.Default(),
+		Scheduler:       uarch.SchedVISA,
+		Policy:          pipeline.PolicyICOUNT,
+		Streams:         streams,
+		MaxInstructions: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proc
+}
+
+// TestInjectCampaignDeterminism re-runs a seeded fault-injection campaign:
+// the full strike sequence — time, location, and outcome of every upset —
+// must repeat exactly. Statistical conclusions from a campaign are only
+// reproducible if the campaign itself is.
+func TestInjectCampaignDeterminism(t *testing.T) {
+	const budget = 8_000
+	mix := []string{"gcc", "mcf", "vpr", "perlbmk"}
+	run := func() ([]inject.Strike, *inject.Campaign) {
+		proc := newInjectProcessor(t, mix, budget)
+		var strikes []inject.Strike
+		c, err := inject.Run(proc, inject.Options{
+			Instructions:     budget,
+			StrikesPerKCycle: 400,
+			Seed:             1234,
+			Observer:         func(s inject.Strike) { strikes = append(strikes, s) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strikes, c
+	}
+
+	strikes1, c1 := run()
+	strikes2, c2 := run()
+	if len(strikes1) == 0 {
+		t.Fatal("campaign injected no strikes; budget too small to test anything")
+	}
+	if !reflect.DeepEqual(strikes1, strikes2) {
+		n := len(strikes1)
+		if len(strikes2) < n {
+			n = len(strikes2)
+		}
+		for i := 0; i < n; i++ {
+			if strikes1[i] != strikes2[i] {
+				t.Fatalf("strike %d differs: %+v vs %+v", i, strikes1[i], strikes2[i])
+			}
+		}
+		t.Fatalf("strike counts differ: %d vs %d", len(strikes1), len(strikes2))
+	}
+	if *c1 != *c2 {
+		t.Errorf("campaign stats differ:\n%+v\n%+v", *c1, *c2)
+	}
+}

@@ -1,0 +1,192 @@
+package visasim
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test -run TestGolden -update .
+//
+// Goldens pin the simulator's numeric results bit-for-bit. Any hot-path
+// change must leave them byte-identical; only a deliberate modelling change
+// may regenerate them, and the diff then documents exactly what moved.
+var update = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenBudget keeps the matrix affordable; combined with the default
+// warmup (budget/4) each cell simulates 30K instructions.
+const goldenBudget = 24_000
+
+// goldenCell is one pinned scheme × workload × policy combination. The
+// matrix spans every machinery class the optimization can disturb: the
+// baseline scheduler, VISA issue prioritisation, dynamic IQ allocation
+// (opt1/opt2 with FLUSH), DVM's waiting-queue throttling, and the FLUSH
+// fetch policy's squash-heavy paths on a memory-bound mix.
+type goldenCell struct {
+	Name   string
+	Cfg    core.Config
+	Budget uint64
+}
+
+func goldenCells() []goldenCell {
+	cpuA := []string{"bzip2", "eon", "gcc", "perlbmk"}
+	memA := []string{"mcf", "equake", "vpr", "swim"}
+	mixA := []string{"gcc", "mcf", "vpr", "perlbmk"}
+	cells := []goldenCell{
+		{"cpuA-base-icount", core.Config{Benchmarks: cpuA, Scheme: core.SchemeBase, Policy: pipeline.PolicyICOUNT}, goldenBudget},
+		{"cpuA-visa-icount", core.Config{Benchmarks: cpuA, Scheme: core.SchemeVISA, Policy: pipeline.PolicyICOUNT}, goldenBudget},
+		{"cpuA-visaopt2-icount", core.Config{Benchmarks: cpuA, Scheme: core.SchemeVISAOpt2, Policy: pipeline.PolicyICOUNT}, goldenBudget},
+		{"memA-base-flush", core.Config{Benchmarks: memA, Scheme: core.SchemeBase, Policy: pipeline.PolicyFLUSH}, goldenBudget},
+		{"memA-dvm-icount", core.Config{Benchmarks: memA, Scheme: core.SchemeDVM, Policy: pipeline.PolicyICOUNT, DVMTarget: 0.04}, goldenBudget},
+		{"mixA-visaopt1-icount", core.Config{Benchmarks: mixA, Scheme: core.SchemeVISAOpt1, Policy: pipeline.PolicyICOUNT}, goldenBudget},
+	}
+	for i := range cells {
+		cells[i].Cfg.MaxInstructions = cells[i].Budget
+		// Sampled invariant checking: every golden run also cross-checks
+		// the incremental fast-path counters against the full walk.
+		cells[i].Cfg.InvariantEvery = 1024
+	}
+	return cells
+}
+
+// goldenSummary is the pinned projection of a core.Result. Floats are
+// serialized by encoding/json in shortest-round-trip form, so a byte-equal
+// comparison is a bit-exact comparison.
+type goldenSummary struct {
+	Cycles        uint64
+	Commits       []uint64
+	ThroughputIPC float64
+	HarmonicIPC   float64
+
+	IQAVF        float64
+	IQAVFTagged  float64
+	ROBAVF       float64
+	ROBAVFTagged float64
+	RFAVF        float64
+	FUAVF        float64
+	MaxIQAVF     float64
+	MaxROBAVF    float64
+
+	L2Misses         uint64
+	Mispredicts      uint64
+	Fetched          uint64
+	WrongPathFetched uint64
+	Squashed         uint64
+	SquashedTagged   uint64
+	Flushes          uint64
+
+	MeanIQOccupancy       float64
+	MeanReadyLen          float64
+	MeanResidencyTagged   float64
+	MeanResidencyUntagged float64
+	MeanReadyWaitTagged   float64
+	MeanReadyWaitUntagged float64
+	IQThreadShare         []float64
+
+	Intervals    int
+	DVMMeanRatio float64
+}
+
+func summarize(r *core.Result) goldenSummary {
+	return goldenSummary{
+		Cycles:        r.Cycles,
+		Commits:       r.Commits,
+		ThroughputIPC: r.ThroughputIPC,
+		HarmonicIPC:   r.HarmonicIPC,
+
+		IQAVF:        r.IQAVF,
+		IQAVFTagged:  r.IQAVFTagged,
+		ROBAVF:       r.ROBAVF,
+		ROBAVFTagged: r.ROBAVFTagged,
+		RFAVF:        r.RFAVF,
+		FUAVF:        r.FUAVF,
+		MaxIQAVF:     r.MaxIQAVF,
+		MaxROBAVF:    r.MaxROBAVF,
+
+		L2Misses:         r.L2Misses,
+		Mispredicts:      r.Mispredicts,
+		Fetched:          r.Fetched,
+		WrongPathFetched: r.WrongPathFetched,
+		Squashed:         r.Squashed,
+		SquashedTagged:   r.SquashedTagged,
+		Flushes:          r.Flushes,
+
+		MeanIQOccupancy:       r.MeanIQOccupancy,
+		MeanReadyLen:          r.MeanReadyLen,
+		MeanResidencyTagged:   r.MeanResidencyTagged,
+		MeanResidencyUntagged: r.MeanResidencyUntagged,
+		MeanReadyWaitTagged:   r.MeanReadyWaitTagged,
+		MeanReadyWaitUntagged: r.MeanReadyWaitUntagged,
+		IQThreadShare:         r.IQThreadShare,
+
+		Intervals:    len(r.Intervals),
+		DVMMeanRatio: r.DVMMeanRatio,
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+func TestGoldenResults(t *testing.T) {
+	for _, cell := range goldenCells() {
+		t.Run(cell.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := core.Run(cell.Cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(summarize(res), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := goldenPath(cell.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run `go test -run TestGolden -update .`): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("result drifted from %s\n--- got ---\n%s--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFilesHaveCells fails when a golden file exists without a
+// matching matrix cell — stale goldens would otherwise silently stop
+// guarding anything.
+func TestGoldenFilesHaveCells(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Skipf("no golden directory yet: %v", err)
+	}
+	known := map[string]bool{}
+	for _, c := range goldenCells() {
+		known[c.Name+".json"] = true
+	}
+	for _, e := range entries {
+		if !known[e.Name()] {
+			t.Errorf("stale golden file %s has no matrix cell", e.Name())
+		}
+	}
+}

@@ -48,14 +48,24 @@ const (
 	FULatchBits = 128
 )
 
-// Accumulator tracks one structure's ACE-bit residency incrementally: the
-// pipeline adds bits when an entry fills, subtracts when it drains, and
-// ticks once per cycle.
+// Accumulator tracks one structure's ACE-bit residency incrementally. Two
+// equivalent usage styles exist and must not be mixed on one accumulator:
+//
+//   - Eager: Add/Sub on every occupancy change plus Tick once per cycle.
+//   - Lazy: AddAt/SubAt with the absolute cycle of the change, and
+//     SettleTo before reading Sum/Cycles/AVF/AVFSince. The idle cycles
+//     between changes are charged in one multiply instead of one Tick
+//     each, keeping per-cycle accounting off the simulation hot path.
+//
+// Under both styles a change during cycle N is counted for cycle N onward
+// (an Add before the cycle's Tick; an AddAt(…, N) settling cycles < N
+// first), so the two styles produce bit-identical sums.
 type Accumulator struct {
 	totalBits uint64 // structure capacity in bits
 	current   uint64 // ACE bits resident this cycle
 	sum       uint64 // Σ over cycles of current
 	cycles    uint64
+	settled   uint64 // absolute cycle sum covers (exclusive; lazy style)
 }
 
 // NewAccumulator returns an accumulator for a structure with entries
@@ -79,6 +89,42 @@ func (a *Accumulator) Sub(bits uint64) {
 func (a *Accumulator) Tick() {
 	a.sum += a.current
 	a.cycles++
+}
+
+// SettleTo charges current residency for every cycle in [settled, now),
+// bringing the sums up to date through cycle now-1 (lazy style).
+func (a *Accumulator) SettleTo(now uint64) {
+	if now <= a.settled {
+		return
+	}
+	d := now - a.settled
+	a.sum += a.current * d
+	a.cycles += d
+	a.settled = now
+}
+
+// AddAt notes bits ACE bits becoming resident during cycle now: they count
+// from cycle now onward (lazy style).
+func (a *Accumulator) AddAt(bits, now uint64) {
+	a.SettleTo(now)
+	a.current += bits
+}
+
+// SubAt notes bits ACE bits draining during cycle now: they no longer count
+// for cycle now (lazy style).
+func (a *Accumulator) SubAt(bits, now uint64) {
+	a.SettleTo(now)
+	if bits > a.current {
+		panic("avf: accumulator underflow")
+	}
+	a.current -= bits
+}
+
+// ResetStatsAt zeroes the accumulated sums as of cycle now, preserving the
+// resident ACE-bit count (lazy style).
+func (a *Accumulator) ResetStatsAt(now uint64) {
+	a.SettleTo(now)
+	a.sum, a.cycles = 0, 0
 }
 
 // Current returns the ACE bits resident now.
@@ -123,6 +169,7 @@ type SpanAccumulator struct {
 	totalBits uint64
 	sum       uint64
 	cycles    uint64
+	settled   uint64 // absolute cycle the cycle count covers (lazy style)
 }
 
 // NewSpanAccumulator returns a span accumulator for entries×entryBits.
@@ -138,6 +185,21 @@ func (a *SpanAccumulator) ResetStats() { a.sum, a.cycles = 0, 0 }
 
 // Tick closes one cycle.
 func (a *SpanAccumulator) Tick() { a.cycles++ }
+
+// SettleTo brings the cycle count up to date through cycle now-1 (lazy
+// style; spans are charged in bulk so only the denominator accrues).
+func (a *SpanAccumulator) SettleTo(now uint64) {
+	if now > a.settled {
+		a.cycles += now - a.settled
+		a.settled = now
+	}
+}
+
+// ResetStatsAt zeroes the accumulated sums as of cycle now (lazy style).
+func (a *SpanAccumulator) ResetStatsAt(now uint64) {
+	a.SettleTo(now)
+	a.sum, a.cycles = 0, 0
+}
 
 // AVF returns the whole-run AVF.
 func (a *SpanAccumulator) AVF() float64 {

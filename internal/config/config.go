@@ -7,7 +7,11 @@
 // (32KB L1I, 64KB L1D, unified 2MB L2, 200-cycle memory).
 package config
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
 
 // CacheConfig describes one set-associative cache.
 type CacheConfig struct {
@@ -23,18 +27,38 @@ func (c CacheConfig) Sets() int {
 	return c.SizeBytes / (c.Assoc * c.LineBytes)
 }
 
+// Geometry ceilings: generous for any plausible machine, small enough that
+// a parsed configuration can never demand absurd allocations or overflow the
+// set arithmetic below. Validate enforces them, so construction code may
+// assume them.
+const (
+	maxCacheBytes = 1 << 32
+	maxAssoc      = 1 << 12
+	maxLineBytes  = 1 << 12
+	maxTLBEntries = 1 << 24
+	maxQueueSize  = 1 << 20
+	maxWidth      = 1 << 10
+	maxPredEntry  = 1 << 28
+	maxLatency    = 1 << 24
+)
+
 // Validate reports an error if the geometry is inconsistent.
 func (c CacheConfig) Validate() error {
 	switch {
 	case c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0:
 		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.SizeBytes > maxCacheBytes || c.Assoc > maxAssoc || c.LineBytes > maxLineBytes:
+		return fmt.Errorf("cache %s: geometry %d/%d/%d exceeds supported bounds",
+			c.Name, c.SizeBytes, c.Assoc, c.LineBytes)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
 	case c.SizeBytes%(c.Assoc*c.LineBytes) != 0:
 		return fmt.Errorf("cache %s: size %d not divisible by assoc*line %d",
 			c.Name, c.SizeBytes, c.Assoc*c.LineBytes)
 	case c.Sets()&(c.Sets()-1) != 0:
 		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, c.Sets())
-	case c.HitLatency < 1:
-		return fmt.Errorf("cache %s: hit latency %d < 1", c.Name, c.HitLatency)
+	case c.HitLatency < 1 || c.HitLatency > maxLatency:
+		return fmt.Errorf("cache %s: hit latency %d out of range", c.Name, c.HitLatency)
 	}
 	return nil
 }
@@ -56,10 +80,14 @@ func (t TLBConfig) Validate() error {
 	switch {
 	case t.Entries <= 0 || t.Assoc <= 0 || t.Entries%t.Assoc != 0:
 		return fmt.Errorf("tlb %s: bad geometry %d/%d", t.Name, t.Entries, t.Assoc)
+	case t.Entries > maxTLBEntries || t.Assoc > maxAssoc:
+		return fmt.Errorf("tlb %s: geometry %d/%d exceeds supported bounds", t.Name, t.Entries, t.Assoc)
 	case t.Sets()&(t.Sets()-1) != 0:
 		return fmt.Errorf("tlb %s: set count %d not a power of two", t.Name, t.Sets())
-	case t.PageBytes <= 0 || t.PageBytes&(t.PageBytes-1) != 0:
+	case t.PageBytes <= 0 || t.PageBytes > maxCacheBytes || t.PageBytes&(t.PageBytes-1) != 0:
 		return fmt.Errorf("tlb %s: page size %d not a power of two", t.Name, t.PageBytes)
+	case t.MissPenalty < 0 || t.MissPenalty > maxLatency:
+		return fmt.Errorf("tlb %s: miss penalty %d out of range", t.Name, t.MissPenalty)
 	}
 	return nil
 }
@@ -187,21 +215,42 @@ func (m Machine) Validate() error {
 	switch {
 	case m.FetchWidth <= 0 || m.IssueWidth <= 0 || m.CommitWidth <= 0:
 		return fmt.Errorf("config: non-positive pipeline width")
+	case m.FetchWidth > maxWidth || m.IssueWidth > maxWidth || m.CommitWidth > maxWidth:
+		return fmt.Errorf("config: pipeline width exceeds %d", maxWidth)
 	case m.MaxFetchThreads <= 0:
 		return fmt.Errorf("config: MaxFetchThreads must be positive")
 	case m.IQSize <= 0 || m.ROBSize <= 0 || m.LSQSize <= 0:
 		return fmt.Errorf("config: non-positive queue size")
+	case m.IQSize > maxQueueSize || m.ROBSize > maxQueueSize || m.LSQSize > maxQueueSize ||
+		m.FetchQueueSize > maxQueueSize:
+		return fmt.Errorf("config: queue size exceeds %d", maxQueueSize)
 	case m.FetchQueueSize < m.FetchWidth:
 		return fmt.Errorf("config: fetch queue (%d) smaller than fetch width (%d)",
 			m.FetchQueueSize, m.FetchWidth)
+	case m.DecodeLatency < 0 || m.DecodeLatency > maxLatency:
+		return fmt.Errorf("config: decode latency %d out of range", m.DecodeLatency)
 	case m.IntALUs <= 0 || m.LoadStores <= 0:
 		return fmt.Errorf("config: need at least one int ALU and one load/store unit")
+	case m.IntALUs > maxWidth || m.IntMulDivs > maxWidth || m.LoadStores > maxWidth ||
+		m.FPALUs > maxWidth || m.FPMulDivs > maxWidth ||
+		m.IntMulDivs < 0 || m.FPALUs < 0 || m.FPMulDivs < 0:
+		return fmt.Errorf("config: function-unit pool size out of range")
 	case m.Branch.HistoryBits <= 0 || m.Branch.HistoryBits > 20:
 		return fmt.Errorf("config: history bits %d out of range", m.Branch.HistoryBits)
-	case m.Branch.GshareEntries&(m.Branch.GshareEntries-1) != 0:
-		return fmt.Errorf("config: gshare entries %d not a power of two", m.Branch.GshareEntries)
-	case m.MemoryLatency <= 0:
-		return fmt.Errorf("config: non-positive memory latency")
+	case m.Branch.GshareEntries <= 0 || m.Branch.GshareEntries > maxPredEntry ||
+		m.Branch.GshareEntries&(m.Branch.GshareEntries-1) != 0:
+		return fmt.Errorf("config: gshare entries %d not a positive power of two", m.Branch.GshareEntries)
+	case m.Branch.BTBEntries <= 0 || m.Branch.BTBAssoc <= 0 ||
+		m.Branch.BTBEntries > maxPredEntry || m.Branch.BTBAssoc > maxAssoc ||
+		m.Branch.BTBEntries%m.Branch.BTBAssoc != 0 ||
+		(m.Branch.BTBEntries/m.Branch.BTBAssoc)&(m.Branch.BTBEntries/m.Branch.BTBAssoc-1) != 0:
+		return fmt.Errorf("config: BTB geometry %d/%d invalid", m.Branch.BTBEntries, m.Branch.BTBAssoc)
+	case m.Branch.RASEntries <= 0 || m.Branch.RASEntries > maxTLBEntries:
+		return fmt.Errorf("config: RAS entries %d out of range", m.Branch.RASEntries)
+	case m.MemoryLatency <= 0 || m.MemoryLatency > maxLatency:
+		return fmt.Errorf("config: memory latency %d out of range", m.MemoryLatency)
+	case m.MispredictPenalty < 0 || m.MispredictPenalty > maxLatency:
+		return fmt.Errorf("config: mispredict penalty %d out of range", m.MispredictPenalty)
 	}
 	for _, c := range []CacheConfig{m.L1I, m.L1D, m.L2} {
 		if err := c.Validate(); err != nil {
@@ -214,6 +263,34 @@ func (m Machine) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Parse reads a machine configuration from JSON. Parsing starts from the
+// Default (Table 2) machine, so a file only has to name the fields it
+// overrides; unknown fields and trailing garbage are rejected, and the
+// result is validated. This is what `-config file.json` CLI flags consume.
+func Parse(data []byte) (Machine, error) {
+	m := Default()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Machine{}, fmt.Errorf("config: %w", err)
+	}
+	// Reject trailing non-whitespace: concatenated documents are almost
+	// certainly a mistake.
+	if dec.More() {
+		return Machine{}, fmt.Errorf("config: trailing data after configuration object")
+	}
+	if err := m.Validate(); err != nil {
+		return Machine{}, err
+	}
+	return m, nil
+}
+
+// MarshalJSON emits the configuration in the format Parse accepts.
+func (m Machine) MarshalJSON() ([]byte, error) {
+	type plain Machine // shed the method set to avoid recursion
+	return json.Marshal(plain(m))
 }
 
 // String renders the configuration as the rows of Table 2.

@@ -5,6 +5,44 @@ import (
 	"testing"
 )
 
+func TestParseDefaults(t *testing.T) {
+	m, err := Parse([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != Default() {
+		t.Fatal("empty document must yield the default machine")
+	}
+}
+
+func TestParseOverride(t *testing.T) {
+	m, err := Parse([]byte(`{"IQSize": 64, "ROBSize": 128}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IQSize != 64 || m.ROBSize != 128 {
+		t.Fatalf("overrides not applied: IQ=%d ROB=%d", m.IQSize, m.ROBSize)
+	}
+	if m.LSQSize != Default().LSQSize {
+		t.Fatal("untouched fields must keep defaults")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		`{"IQSize": 0}`,                 // invalid machine
+		`{"NoSuchKnob": 1}`,             // unknown field
+		`{"IQSize": 96}{"IQSize": 32}`,  // trailing document
+		`{"Branch": {"BTBAssoc": 0}}`,   // division hazard
+		`{"Branch": {"RASEntries": 0}}`, // modulo hazard
+		`not json`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse accepted %q", bad)
+		}
+	}
+}
+
 func TestDefaultValidates(t *testing.T) {
 	if err := Default().Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)

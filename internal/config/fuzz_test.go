@@ -1,0 +1,45 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParse drives Parse with arbitrary byte strings. Three properties must
+// hold for every input: Parse never panics, an accepted machine always
+// re-validates, and accepted machines survive a marshal→parse round trip
+// unchanged (the golden/bench tooling depends on that stability).
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"IQSize": 64}`))
+	f.Add([]byte(`{"IQSize": 0}`))
+	f.Add([]byte(`{"L1D": {"Name": "l1d", "SizeBytes": 65536, "Assoc": 4, "LineBytes": 64, "HitLatency": 1}}`))
+	f.Add([]byte(`{"Branch": {"GshareEntries": 3}}`))
+	f.Add([]byte(`{"IQSize": 96} trailing`))
+	f.Add([]byte(`{"MemoryLatency": -5}`))
+	f.Add([]byte(`{"L2": {"SizeBytes": 4294967296, "Assoc": 1048576, "LineBytes": 1048576}}`))
+	if def, err := json.Marshal(Default()); err == nil {
+		f.Add(def)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("Parse accepted an invalid machine: %v", verr)
+		}
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("marshalling an accepted machine: %v", err)
+		}
+		m2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parsing marshalled machine: %v\n%s", err, out)
+		}
+		if m != m2 {
+			t.Fatalf("round trip changed the machine:\n got %+v\nwant %+v", m2, m)
+		}
+	})
+}

@@ -120,6 +120,11 @@ type Config struct {
 	Opt2Threshold uint64
 	// IntervalCycles overrides the 10K-cycle control interval.
 	IntervalCycles int
+
+	// InvariantEvery, when positive, cross-checks the pipeline's
+	// incremental counters against a full structure walk every N cycles
+	// (testing aid; see pipeline.Params.InvariantEvery).
+	InvariantEvery uint64
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -307,6 +312,7 @@ func Run(cfg Config) (*Result, error) {
 		WarmupInstructions: uint64(c.Warmup),
 		OracleTags:         c.OracleTags,
 		IntervalCycles:     c.IntervalCycles,
+		InvariantEvery:     c.InvariantEvery,
 	})
 	if err != nil {
 		return nil, err

@@ -6,8 +6,11 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
+	"time"
 
 	"visasim/internal/core"
 )
@@ -23,15 +26,39 @@ type Cell struct {
 // Results maps cell keys to simulation results.
 type Results map[string]*core.Result
 
+// CellStats records one cell's simulator cost: how long the simulation
+// took and how fast the simulated machine advanced. Seconds covers only
+// core.Run (workload generation, profiling and simulation), not queueing.
+type CellStats struct {
+	Seconds      float64
+	Cycles       uint64
+	Instructions uint64
+	CyclesPerSec float64
+	InstrsPerSec float64
+}
+
+// Stats maps cell keys to their cost records.
+type Stats map[string]CellStats
+
 // Options tunes batch execution.
 type Options struct {
 	// Workers bounds concurrent simulations (GOMAXPROCS when 0).
 	Workers int
+	// CPUProfile, when non-empty, writes a pprof CPU profile covering
+	// the whole batch to this path.
+	CPUProfile string
 }
 
 // Run executes every cell and returns the keyed results. The first error
 // aborts the batch (outstanding cells finish; queued ones are skipped).
 func Run(cells []Cell, opt Options) (Results, error) {
+	res, _, err := RunStats(cells, opt)
+	return res, err
+}
+
+// RunStats is Run plus per-cell wall-clock and throughput records, so
+// sweeps can report where the simulation budget went.
+func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -42,14 +69,30 @@ func Run(cells []Cell, opt Options) (Results, error) {
 	seen := map[string]bool{}
 	for _, c := range cells {
 		if seen[c.Key] {
-			return nil, fmt.Errorf("harness: duplicate cell key %q", c.Key)
+			return nil, nil, fmt.Errorf("harness: duplicate cell key %q", c.Key)
 		}
 		seen[c.Key] = true
+	}
+
+	if opt.CPUProfile != "" {
+		f, err := os.Create(opt.CPUProfile)
+		if err != nil {
+			return nil, nil, fmt.Errorf("harness: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("harness: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	var (
 		mu       sync.Mutex
 		results  = make(Results, len(cells))
+		stats    = make(Stats, len(cells))
 		firstErr error
 	)
 	jobs := make(chan Cell)
@@ -65,7 +108,9 @@ func Run(cells []Cell, opt Options) (Results, error) {
 				if stop {
 					continue
 				}
+				t0 := time.Now()
 				res, err := core.Run(c.Cfg)
+				elapsed := time.Since(t0)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -73,6 +118,16 @@ func Run(cells []Cell, opt Options) (Results, error) {
 					}
 				} else {
 					results[c.Key] = res
+					st := CellStats{
+						Seconds:      elapsed.Seconds(),
+						Cycles:       res.Cycles,
+						Instructions: res.TotalCommits(),
+					}
+					if st.Seconds > 0 {
+						st.CyclesPerSec = float64(st.Cycles) / st.Seconds
+						st.InstrsPerSec = float64(st.Instructions) / st.Seconds
+					}
+					stats[c.Key] = st
 				}
 				mu.Unlock()
 			}
@@ -84,7 +139,7 @@ func Run(cells []Cell, opt Options) (Results, error) {
 	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
-	return results, nil
+	return results, stats, nil
 }

@@ -40,7 +40,7 @@ func (p *Processor) dispatch(now uint64) {
 			}
 			// Peek readiness for the waiting-cap check before
 			// committing to dispatch.
-			if p.dec.WaitingCap >= 0 && p.waitingCount >= p.dec.WaitingCap && p.wouldWait(t, u) {
+			if p.dec.WaitingCap >= 0 && p.iq.Census().Waiting >= p.dec.WaitingCap && p.wouldWait(t, u) {
 				break // in-order dispatch: this thread stalls
 			}
 			p.dispatchUop(t, t.fqPop(), now)
@@ -93,6 +93,9 @@ func (p *Processor) dispatchUop(t *thread, u *uarch.Uop, now uint64) {
 		u.ReadyAt = now
 	}
 	if in.HasDest() {
+		if pw := t.renameMap[in.Dest]; pw != nil {
+			pw.NextWriter = u
+		}
 		u.PrevWriter = t.renameMap[in.Dest]
 		t.renameMap[in.Dest] = u
 	}
@@ -100,26 +103,25 @@ func (p *Processor) dispatchUop(t *thread, u *uarch.Uop, now uint64) {
 	if u.Kind().IsMem() {
 		t.lsq.Push(u)
 	}
+	// Settle the lazily accumulated occupancy statistics through the
+	// cycles the old occupancy covered before this entry changes them.
+	p.settleIQStats(now)
 	p.iq.Insert(u)
 	u.DispatchedAt = now
-	if pending > 0 {
-		p.waitingCount++
-	}
-	p.iqTrue.Add(avf.IQBits(u.WrongPath, u.ACE))
-	p.iqTag.Add(avf.IQBits(u.WrongPath, u.ACETag))
+	p.iqTrue.AddAt(avf.IQBits(u.WrongPath, u.ACE), now)
+	p.iqTag.AddAt(avf.IQBits(u.WrongPath, u.ACETag), now)
 	p.iqThreadAce[u.Thread] += avf.IQBits(u.WrongPath, u.ACE)
-	p.robAcc.Add(avf.ROBBits(u.WrongPath, u.ACE))
-	p.robTag.Add(avf.ROBBits(u.WrongPath, u.ACETag))
+	p.robAcc.AddAt(avf.ROBBits(u.WrongPath, u.ACE), now)
+	p.robTag.AddAt(avf.ROBBits(u.WrongPath, u.ACETag), now)
 }
 
 // iqDrain removes u from the issue queue, reversing its AVF contribution.
 func (p *Processor) iqDrain(u *uarch.Uop) {
-	if !u.Ready() {
-		p.waitingCount--
-	}
+	now := p.cycle
+	p.settleIQStats(now)
 	p.iq.Remove(u)
-	p.iqTrue.Sub(avf.IQBits(u.WrongPath, u.ACE))
-	p.iqTag.Sub(avf.IQBits(u.WrongPath, u.ACETag))
+	p.iqTrue.SubAt(avf.IQBits(u.WrongPath, u.ACE), now)
+	p.iqTag.SubAt(avf.IQBits(u.WrongPath, u.ACETag), now)
 	p.iqThreadAce[u.Thread] -= avf.IQBits(u.WrongPath, u.ACE)
 }
 
@@ -241,19 +243,27 @@ func (p *Processor) complete(now uint64) {
 			}
 		}
 		if u.Stage != uarch.StageIssued {
-			continue // squashed while executing
+			// Squashed while executing: the wheel entry was the last
+			// reference keeping the allocation alive.
+			if u.Stage == uarch.StageSquashed {
+				p.pool.Put(u)
+			}
+			continue
 		}
 		if u.Kind() == isa.Load {
 			p.pol.pdgTrain(u.Static().PC, u.MissedL1)
 		}
 		u.Stage = uarch.StageCompleted
-		for _, d := range u.Dependents() {
-			if d.Stage != uarch.StageInIQ {
+		for _, ref := range u.Dependents() {
+			d := ref.U
+			// A stale generation is a squashed consumer whose
+			// allocation was recycled; skip it.
+			if !ref.Live() || d.Stage != uarch.StageInIQ {
 				continue
 			}
 			d.SrcPending--
 			if d.SrcPending == 0 {
-				p.waitingCount--
+				p.iq.Wake(d)
 				d.ReadyAt = now
 			}
 			if d.SrcPending < 0 {
@@ -312,6 +322,8 @@ func (p *Processor) squashAfter(t *thread, u *uarch.Uop) {
 			t.pendingMispredict = nil
 		}
 		p.noteSquashed(t, f)
+		// Never dispatched: nothing else references it.
+		p.pool.Put(f)
 	}
 }
 
@@ -328,6 +340,9 @@ func (p *Processor) releasePredMiss(t *thread, u *uarch.Uop) {
 // squashUop reverses a dispatched uop's machine state.
 func (p *Processor) squashUop(t *thread, y *uarch.Uop) {
 	p.releasePredMiss(t, y)
+	// Issued-but-incomplete uops stay referenced by the completion wheel;
+	// their allocation is recycled when that slot fires.
+	onWheel := y.Stage == uarch.StageIssued
 	switch y.Stage {
 	case uarch.StageInIQ:
 		p.iqDrain(y)
@@ -340,16 +355,26 @@ func (p *Processor) squashUop(t *thread, y *uarch.Uop) {
 		t.lsq.Remove(y)
 	}
 	in := y.Static()
-	if in.HasDest() && t.renameMap[in.Dest] == y {
-		t.renameMap[in.Dest] = y.PrevWriter
+	if in.HasDest() {
+		if t.renameMap[in.Dest] == y {
+			t.renameMap[in.Dest] = y.PrevWriter
+		}
+		// Squash runs youngest-first, so y's own NextWriter is already
+		// dead and unhooked; y in turn unhooks from its predecessor.
+		if pw := y.PrevWriter; pw != nil && pw.NextWriter == y {
+			pw.NextWriter = nil
+		}
 	}
 	if y == t.pendingMispredict {
 		t.pendingMispredict = nil
 	}
-	p.robAcc.Sub(avf.ROBBits(y.WrongPath, y.ACE))
-	p.robTag.Sub(avf.ROBBits(y.WrongPath, y.ACETag))
+	p.robAcc.SubAt(avf.ROBBits(y.WrongPath, y.ACE), p.cycle)
+	p.robTag.SubAt(avf.ROBBits(y.WrongPath, y.ACETag), p.cycle)
 	y.Stage = uarch.StageSquashed
 	p.noteSquashed(t, y)
+	if !onWheel {
+		p.pool.Put(y)
+	}
 }
 
 // noteSquashed records squashed-instruction tag statistics (the paper's
@@ -387,9 +412,19 @@ func (p *Processor) commitUop(t *thread, u *uarch.Uop, now uint64) {
 	}
 	t.rob.Pop()
 	u.Stage = uarch.StageCommitted
-	u.PrevWriter = nil // release the rename-history chain for GC
+	u.PrevWriter = nil // release the rename-history chain
 
 	in := u.Static()
+	// Unhook from the rename structures so the allocation can be
+	// recycled: a committed writer is indistinguishable from "no
+	// in-flight writer" to every rename-map reader.
+	if w := u.NextWriter; w != nil && w.PrevWriter == u {
+		w.PrevWriter = nil
+	}
+	u.NextWriter = nil
+	if in.HasDest() && t.renameMap[in.Dest] == u {
+		t.renameMap[in.Dest] = nil
+	}
 	// Register-file AVF: reads refresh the value's last-use time;
 	// a write closes the previous value's vulnerable span.
 	for _, r := range [2]isa.Reg{in.Src1, in.Src2} {
@@ -418,11 +453,12 @@ func (p *Processor) commitUop(t *thread, u *uarch.Uop, now uint64) {
 		p.bp.BTBInsert(in.PC, in.Target, now)
 	}
 
-	p.robAcc.Sub(avf.ROBBits(u.WrongPath, u.ACE))
-	p.robTag.Sub(avf.ROBBits(u.WrongPath, u.ACETag))
+	p.robAcc.SubAt(avf.ROBBits(u.WrongPath, u.ACE), now)
+	p.robTag.SubAt(avf.ROBBits(u.WrongPath, u.ACETag), now)
 	t.commits++
 	p.totalCommits++
 	t.stream.Release(u.StreamPos + 1)
+	p.pool.Put(u)
 }
 
 // closeRegSpan charges the register's previous value lifetime to RF AVF.

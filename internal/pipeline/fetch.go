@@ -2,12 +2,18 @@ package pipeline
 
 import (
 	"fmt"
-	"sort"
 
 	"visasim/internal/isa"
 	"visasim/internal/trace"
 	"visasim/internal/uarch"
 )
+
+// fetchCand is one thread competing for fetch slots this cycle.
+type fetchCand struct {
+	t     *thread
+	count int32
+	gated bool
+}
 
 // fetch runs the front end for one cycle: order threads by ICOUNT, apply
 // the policy's gating, and fetch up to FetchWidth instructions from up to
@@ -15,27 +21,28 @@ import (
 // predicted-taken branch or an I-cache line boundary.
 func (p *Processor) fetch(now uint64) {
 	useFlush := p.dec.UseFlush
-	type cand struct {
-		t     *thread
-		count int
-		gated bool
-	}
-	cands := make([]cand, 0, p.n)
+	cands := p.fetchCands[:0]
 	for _, t := range p.threads {
 		if t.stallUntil > now || t.fq.Full() {
 			continue
 		}
-		cands = append(cands, cand{t: t, count: t.icount(p.iq), gated: p.pol.gated(t, useFlush)})
+		cands = append(cands, fetchCand{t: t, count: int32(t.icount(p.iq)), gated: p.pol.gated(t, useFlush)})
 	}
 	if len(cands) == 0 {
 		return
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].count != cands[j].count {
-			return cands[i].count < cands[j].count
+	// Insertion sort by (icount, thread id): at most MaxThreads entries,
+	// already id-ordered, so this beats sort.Slice and allocates nothing.
+	// Ties keep id order because candidates were appended in id order.
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i
+		for j > 0 && cands[j-1].count > c.count {
+			cands[j] = cands[j-1]
+			j--
 		}
-		return cands[i].t.id < cands[j].t.id
-	})
+		cands[j] = c
+	}
 
 	// FLUSH keeps fetching for at least one thread even when every
 	// thread is stalled on an L2 miss (Tullsen & Brown; the paper's §4
@@ -116,15 +123,12 @@ func (p *Processor) fetchOne(t *thread, now uint64) (*uarch.Uop, bool) {
 	prog := t.stream.Executor().Prog
 	in := prog.At(t.pc)
 
-	u := &uarch.Uop{
-		Thread:      int32(t.id),
-		Age:         p.age,
-		FetchedAt:   now,
-		DecodeReady: now + uint64(p.cfg.DecodeLatency),
-		IQSlot:      -1,
-		LSQSlot:     -1,
-		ACETag:      in.ACETag,
-	}
+	u := p.pool.Get()
+	u.Thread = int32(t.id)
+	u.Age = p.age
+	u.FetchedAt = now
+	u.DecodeReady = now + uint64(p.cfg.DecodeLatency)
+	u.ACETag = in.ACETag
 	p.age++
 
 	if t.onTrace {

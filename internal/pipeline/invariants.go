@@ -11,13 +11,18 @@ import (
 // between steps to catch accounting drift early. It is O(machine size) and
 // intended for testing, not the simulation hot path.
 func (p *Processor) CheckInvariants() error {
-	// IQ census consistency.
+	// The incrementally maintained census must match a fresh walk, and
+	// the scheduler's ready list must mirror the ready residents in age
+	// order.
 	c := p.iq.Census()
+	if walk := p.iq.CensusWalk(); c != walk {
+		return fmt.Errorf("incremental census %+v != walked census %+v", c, walk)
+	}
 	if c.Ready+c.Waiting != p.iq.Len() {
 		return fmt.Errorf("census %d+%d != IQ len %d", c.Ready, c.Waiting, p.iq.Len())
 	}
-	if c.Waiting != p.waitingCount {
-		return fmt.Errorf("waiting census %d != counter %d", c.Waiting, p.waitingCount)
+	if err := p.iq.CheckReady(); err != nil {
+		return err
 	}
 
 	// AVF current counters must equal a fresh walk of the structures.
@@ -43,6 +48,17 @@ func (p *Processor) CheckInvariants() error {
 				panic("dead uop in ROB")
 			}
 		})
+		// Rename-map entries must be live in-flight uops of this
+		// thread: a committed or squashed (possibly recycled) entry
+		// would mean the pool release protocol leaked a reference.
+		for r, w := range t.renameMap {
+			if w == nil {
+				continue
+			}
+			if int(w.Thread) != t.id || w.Stage == uarch.StageCommitted || w.Stage == uarch.StageSquashed || w.Stage == uarch.StageFetched {
+				return fmt.Errorf("thread %d renameMap[%d] holds a non-in-flight uop (stage %v)", t.id, r, w.Stage)
+			}
+		}
 	}
 	if robBits != p.robAcc.Current() {
 		return fmt.Errorf("ROB ACE bits walk %d != counter %d", robBits, p.robAcc.Current())

@@ -55,6 +55,12 @@ type Params struct {
 	// IntervalCycles overrides the statistics/controller interval
 	// (IntervalCycles constant when 0; ablation knob).
 	IntervalCycles int
+	// InvariantEvery, when positive, cross-checks the incrementally
+	// maintained counters against a full O(machine-size) walk every N
+	// cycles during Run (see CheckInvariants). Zero disables checking;
+	// long-running tests sample (e.g. every few thousand cycles) so the
+	// fast-path bookkeeping stays validated without O(n) work per cycle.
+	InvariantEvery uint64
 }
 
 // Processor is the simulated SMT core.
@@ -83,17 +89,24 @@ type Processor struct {
 	oracleTags     bool
 	intervalCycles uint64
 	sampleCycles   uint64
+	invariantEvery uint64
 
 	wheel    [wheelSize][]*uarch.Uop
 	flushReq []*uarch.Uop
 
-	// waitingCount tracks not-ready uops resident in the IQ.
-	waitingCount int
+	// pool recycles uop allocations; fetch draws from it and commit,
+	// squash and the completion wheel return to it.
+	pool uarch.UopPool
+
+	// fetchCands is the fetch stage's reusable priority scratch.
+	fetchCands [uarch.MaxThreads]fetchCand
 
 	// Per-thread IQ ACE-bit attribution (ground truth): current
-	// resident bits and their per-cycle integral.
-	iqThreadAce [uarch.MaxThreads]uint64
-	iqThreadSum [uarch.MaxThreads]uint64
+	// resident bits and their lazily settled per-cycle integral
+	// (occSum follows the same discipline; see settleIQStats).
+	iqThreadAce    [uarch.MaxThreads]uint64
+	iqThreadSum    [uarch.MaxThreads]uint64
+	iqStatsSettled uint64 // absolute cycle occSum/iqThreadSum cover
 
 	// AVF accounting.
 	iqTrue *avf.Accumulator
@@ -201,6 +214,7 @@ func New(p Params) (*Processor, error) {
 	if proc.sampleCycles == 0 {
 		proc.sampleCycles = 1
 	}
+	proc.invariantEvery = p.InvariantEvery
 	return proc, nil
 }
 
@@ -218,14 +232,27 @@ func (p *Processor) Run() *Results {
 		warmupCycleCap := p.cycle + 64*p.warmup
 		for p.totalCommits < p.warmup && p.cycle < warmupCycleCap {
 			p.Step()
+			p.maybeCheckInvariants()
 		}
 		p.ResetStats()
 	}
 	cycleCap := p.statsCycle0 + p.maxCycles
 	for p.totalCommits < p.maxInstructions && p.cycle < cycleCap {
 		p.Step()
+		p.maybeCheckInvariants()
 	}
 	return p.results()
+}
+
+// maybeCheckInvariants runs the sampled invariant cross-check configured by
+// Params.InvariantEvery. A failure is a simulator bug, never a modelling
+// outcome, so it panics like the other internal-consistency checks.
+func (p *Processor) maybeCheckInvariants() {
+	if p.invariantEvery > 0 && p.cycle%p.invariantEvery == 0 {
+		if err := p.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("pipeline: invariant violated at cycle %d: %v", p.cycle, err))
+		}
+	}
 }
 
 // ResetStats zeroes all statistics while preserving machine state (cache,
@@ -246,11 +273,11 @@ func (p *Processor) ResetStats() {
 			t.regs[r].valid = false
 		}
 	}
-	p.iqTrue.ResetStats()
-	p.iqTag.ResetStats()
-	p.robAcc.ResetStats()
-	p.robTag.ResetStats()
-	p.rfAcc.ResetStats()
+	p.iqTrue.ResetStatsAt(p.cycle)
+	p.iqTag.ResetStatsAt(p.cycle)
+	p.robAcc.ResetStatsAt(p.cycle)
+	p.robTag.ResetStatsAt(p.cycle)
+	p.rfAcc.ResetStatsAt(p.cycle)
 	for c := range p.fus.BusyCycles {
 		p.fus.BusyCycles[c] = 0
 		p.fus.BusyCyclesACE[c] = 0
@@ -264,6 +291,7 @@ func (p *Processor) ResetStats() {
 	p.bp.Lookups, p.bp.Mispredicts = 0, 0
 	p.squashedTotal, p.squashedTagged = 0, 0
 	p.occSum = 0
+	p.iqStatsSettled = p.cycle
 	p.iqThreadAce = [uarch.MaxThreads]uint64{}
 	p.iqThreadSum = [uarch.MaxThreads]uint64{}
 	// Re-derive the resident per-thread ACE bits from the live queue.
@@ -322,6 +350,10 @@ func (p *Processor) Memory() *cache.Hierarchy { return p.mem }
 
 // view assembles the controller-visible state.
 func (p *Processor) view(now uint64) View {
+	// The interval-so-far AVF estimates read the lazy accumulators
+	// mid-cycle; settle them through the last closed cycle first.
+	p.iqTag.SettleTo(now)
+	p.robTag.SettleTo(now)
 	v := View{
 		Cycle:                  now,
 		NumThreads:             p.n,
@@ -348,23 +380,17 @@ func (p *Processor) view(now uint64) View {
 	return v
 }
 
-// account closes the cycle: AVF ticks, histogram, interval and sample
-// boundaries.
+// account closes the cycle: ready-queue histogram and the interval/sample
+// boundaries. AVF accounting is settled lazily (on occupancy deltas and at
+// the boundaries below) rather than ticked every cycle.
 func (p *Processor) account(now uint64) {
-	p.iqTrue.Tick()
-	p.iqTag.Tick()
-	p.robAcc.Tick()
-	p.robTag.Tick()
-	p.rfAcc.Tick()
 	p.rqHist.Observe(p.census.Ready, p.census.ReadyACE)
 	p.ivReadySum += uint64(p.census.Ready)
-	p.occSum += uint64(p.iq.Len())
-	for i := 0; i < p.n; i++ {
-		p.iqThreadSum[i] += p.iqThreadAce[i]
-	}
 
 	done := now + 1
 	if done%p.sampleCycles == 0 {
+		p.iqTag.SettleTo(done)
+		p.robTag.SettleTo(done)
 		p.lastSampleAVF = p.iqTag.AVFSince(p.sampStartTag, p.sampStartCycles)
 		p.lastSampleROBAVF = p.robTag.AVFSince(p.sampStartROBTag, p.sampStartCycles)
 		p.sampStartTag = p.iqTag.Sum()
@@ -373,8 +399,34 @@ func (p *Processor) account(now uint64) {
 		p.sampleIdx++
 	}
 	if done%p.intervalCycles == 0 {
+		p.settleAccounting(done)
 		p.closeInterval()
 	}
+}
+
+// settleIQStats charges the IQ occupancy integrals (occSum, per-thread ACE
+// bits) for the cycles since the last occupancy change.
+func (p *Processor) settleIQStats(now uint64) {
+	d := now - p.iqStatsSettled
+	if d == 0 {
+		return
+	}
+	p.occSum += uint64(p.iq.Len()) * d
+	for i := 0; i < p.n; i++ {
+		p.iqThreadSum[i] += p.iqThreadAce[i] * d
+	}
+	p.iqStatsSettled = now
+}
+
+// settleAccounting brings every lazily maintained statistic up to date
+// through cycle now-1 (interval boundaries and end of run).
+func (p *Processor) settleAccounting(now uint64) {
+	p.iqTrue.SettleTo(now)
+	p.iqTag.SettleTo(now)
+	p.robAcc.SettleTo(now)
+	p.robTag.SettleTo(now)
+	p.rfAcc.SettleTo(now)
+	p.settleIQStats(now)
 }
 
 func (p *Processor) closeInterval() {

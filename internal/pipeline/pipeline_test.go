@@ -101,6 +101,23 @@ func TestInvariantsUnderFlushPolicy(t *testing.T) {
 	}
 }
 
+// TestInvariantSamplingDuringRun exercises Params.InvariantEvery: a long
+// VISA+FLUSH run on the memory-bound mix cross-checks the incremental
+// counters against the O(machine-size) walk every 256 cycles, through both
+// the warmup and the measured region. Any drift panics inside Run.
+func TestInvariantSamplingDuringRun(t *testing.T) {
+	proc := newProc(t, memMix, func(p *pipeline.Params) {
+		p.MaxInstructions = 6000
+		p.WarmupInstructions = 1500
+		p.Policy = pipeline.PolicyFLUSH
+		p.Scheduler = uarch.SchedVISA
+		p.InvariantEvery = 256
+	})
+	if r := proc.Run(); r.TotalCommits() == 0 {
+		t.Fatal("run committed nothing")
+	}
+}
+
 func TestBudgetReached(t *testing.T) {
 	r := newProc(t, cpuMix, nil).Run()
 	if got := r.TotalCommits(); got < 20_000 {

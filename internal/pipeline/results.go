@@ -102,6 +102,9 @@ func (r *Results) TotalCommits() uint64 {
 
 // results finalises the run.
 func (p *Processor) results() *Results {
+	// Bring the lazily settled statistics up to date through the final
+	// simulated cycle.
+	p.settleAccounting(p.cycle)
 	// Close a meaningful partial final interval (short runs would
 	// otherwise record no intervals at all).
 	if p.iqTrue.Cycles()-p.ivStartCycle >= p.intervalCycles/10 {

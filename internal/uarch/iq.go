@@ -1,6 +1,6 @@
 package uarch
 
-import "sort"
+import "fmt"
 
 // Scheduler selects which ready instructions issue each cycle.
 type Scheduler uint8
@@ -36,6 +36,15 @@ type IQ struct {
 
 	perThread [MaxThreads]int
 
+	// cen is maintained incrementally on Insert/Remove/Wake so Census is
+	// O(1); CensusWalk recomputes it from the slots for cross-checking.
+	cen Census
+	// ready holds the ready residents in ascending Age order, maintained
+	// by binary insertion: schedulers read it without scanning or
+	// sorting. Entries with equal ages (possible only outside the
+	// pipeline, whose ages are unique) keep no defined relative order.
+	ready []*Uop
+
 	// candidates is the reusable per-cycle ready list.
 	candidates []*Uop
 }
@@ -45,6 +54,7 @@ func NewIQ(size int) *IQ {
 	q := &IQ{
 		slots:      make([]*Uop, size),
 		free:       make([]int32, size),
+		ready:      make([]*Uop, 0, size),
 		candidates: make([]*Uop, 0, size),
 	}
 	for i := range q.free {
@@ -81,6 +91,17 @@ func (q *IQ) Insert(u *Uop) {
 	u.Stage = StageInIQ
 	q.count++
 	q.perThread[u.Thread]++
+	if u.ACE {
+		q.cen.ResidentACE++
+	}
+	if u.ACETag {
+		q.cen.ResidentTags++
+	}
+	if u.Ready() {
+		q.readyAdd(u)
+	} else {
+		q.cen.Waiting++
+	}
 }
 
 // Remove frees u's slot (on issue or squash).
@@ -93,6 +114,84 @@ func (q *IQ) Remove(u *Uop) {
 	u.IQSlot = -1
 	q.count--
 	q.perThread[u.Thread]--
+	if u.ACE {
+		q.cen.ResidentACE--
+	}
+	if u.ACETag {
+		q.cen.ResidentTags--
+	}
+	if u.Ready() {
+		q.readyRemove(u)
+	} else {
+		q.cen.Waiting--
+	}
+}
+
+// Wake moves a resident uop from the waiting to the ready set. The pipeline
+// calls it exactly once per uop, when writeback clears its last outstanding
+// source operand.
+func (q *IQ) Wake(u *Uop) {
+	if u.IQSlot < 0 || q.slots[u.IQSlot] != u {
+		panic("uarch: IQ wake of non-resident uop")
+	}
+	q.cen.Waiting--
+	q.readyAdd(u)
+}
+
+// readyAdd inserts u into the age-ordered ready list and counts it.
+func (q *IQ) readyAdd(u *Uop) {
+	q.cen.Ready++
+	if u.ACE {
+		q.cen.ReadyACE++
+	}
+	if u.ACETag {
+		q.cen.ReadyACETag++
+	}
+	lo, hi := 0, len(q.ready)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.ready[mid].Age < u.Age {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.ready = append(q.ready, nil)
+	copy(q.ready[lo+1:], q.ready[lo:])
+	q.ready[lo] = u
+}
+
+// readyRemove drops u from the ready list and uncounts it.
+func (q *IQ) readyRemove(u *Uop) {
+	q.cen.Ready--
+	if u.ACE {
+		q.cen.ReadyACE--
+	}
+	if u.ACETag {
+		q.cen.ReadyACETag--
+	}
+	lo, hi := 0, len(q.ready)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.ready[mid].Age < u.Age {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Equal ages are possible in unit tests; scan the equal-age run for
+	// the identity match.
+	for ; lo < len(q.ready); lo++ {
+		if q.ready[lo] == u {
+			copy(q.ready[lo:], q.ready[lo+1:])
+			q.ready = q.ready[:len(q.ready)-1]
+			return
+		}
+		if q.ready[lo].Age != u.Age {
+			break
+		}
+	}
+	panic("uarch: IQ ready-list remove of absent uop")
 }
 
 // Census counts resident uops: ready vs waiting, and how many of the ready
@@ -108,8 +207,13 @@ type Census struct {
 	ResidentTags int
 }
 
-// Census scans the queue.
-func (q *IQ) Census() Census {
+// Census returns the incrementally maintained counts in O(1).
+func (q *IQ) Census() Census { return q.cen }
+
+// CensusWalk recomputes the census with a full O(size) scan of the slots.
+// It exists to validate the incremental counters (CheckInvariants); the
+// simulation itself reads Census.
+func (q *IQ) CensusWalk() Census {
 	var c Census
 	for _, u := range q.slots {
 		if u == nil {
@@ -136,29 +240,53 @@ func (q *IQ) Census() Census {
 	return c
 }
 
+// CheckReady validates the ready list against the slots: every ready
+// resident appears exactly once, in ascending age order (testing aid).
+func (q *IQ) CheckReady() error {
+	want := 0
+	for _, u := range q.slots {
+		if u != nil && u.Ready() {
+			want++
+		}
+	}
+	if want != len(q.ready) {
+		return fmt.Errorf("uarch: ready list holds %d uops, walk finds %d", len(q.ready), want)
+	}
+	for i, u := range q.ready {
+		if u.IQSlot < 0 || q.slots[u.IQSlot] != u || !u.Ready() {
+			return fmt.Errorf("uarch: ready list entry %d is not a ready resident", i)
+		}
+		if i > 0 && q.ready[i-1].Age > u.Age {
+			return fmt.Errorf("uarch: ready list out of age order at %d", i)
+		}
+	}
+	return nil
+}
+
 // ReadyCandidates fills the scheduler's per-cycle candidate list with all
 // ready resident uops ordered per policy. The returned slice is reused
 // across calls.
+//
+// The ready list is already in ascending age order, so the oldest-first
+// policy is a copy and VISA is a stable partition by ACE tag — both
+// reproduce the ordering a (unique-key) sort of the ready set would, with
+// no per-cycle scan or sort.
 func (q *IQ) ReadyCandidates(sched Scheduler) []*Uop {
 	cands := q.candidates[:0]
-	for _, u := range q.slots {
-		if u != nil && u.Ready() {
-			cands = append(cands, u)
-		}
-	}
 	switch sched {
 	case SchedVISA:
-		sort.Slice(cands, func(i, j int) bool {
-			a, b := cands[i], cands[j]
-			if a.ACETag != b.ACETag {
-				return a.ACETag // ACE-tagged first
+		for _, u := range q.ready {
+			if u.ACETag {
+				cands = append(cands, u)
 			}
-			return a.Age < b.Age
-		})
+		}
+		for _, u := range q.ready {
+			if !u.ACETag {
+				cands = append(cands, u)
+			}
+		}
 	default:
-		sort.Slice(cands, func(i, j int) bool {
-			return cands[i].Age < cands[j].Age
-		})
+		cands = append(cands, q.ready...)
 	}
 	q.candidates = cands
 	return cands

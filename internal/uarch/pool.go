@@ -1,0 +1,39 @@
+package uarch
+
+// UopPool is a free list of Uop allocations. The pipeline allocates several
+// uops per simulated cycle; recycling them caps steady-state allocation at
+// the in-flight population (machine size) instead of growing with simulated
+// instructions, which removes the allocator and collector from the cycle
+// loop's hot path.
+//
+// Safety protocol (enforced by the pipeline, validated by CheckInvariants):
+// a uop may be Put only when no machine structure can reach it again — after
+// commit, after a never-issued squash, or, for squashed in-flight uops, when
+// their completion-wheel slot fires. References that can survive past that
+// point (a producer's dependents list) carry the generation stamp DepRef
+// checks against.
+type UopPool struct {
+	free []*Uop
+}
+
+// Get returns a fresh uop: zeroed fields, queue slots unset, generation
+// advanced past any previous life.
+func (p *UopPool) Get() *Uop {
+	if n := len(p.free); n > 0 {
+		u := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return u
+	}
+	return &Uop{IQSlot: -1, LSQSlot: -1}
+}
+
+// Put resets u and returns it to the pool. The caller must guarantee no
+// structure still reaches u except generation-stamped DepRefs.
+func (p *UopPool) Put(u *Uop) {
+	u.Reset()
+	p.free = append(p.free, u)
+}
+
+// Len returns the number of pooled free uops (testing aid).
+func (p *UopPool) Len() int { return len(p.free) }

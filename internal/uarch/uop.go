@@ -86,9 +86,19 @@ type Uop struct {
 	// PrevWriter is the previous rename-map entry for Dyn.Static.Dest,
 	// used to repair the map when this uop is squashed.
 	PrevWriter *Uop
+	// NextWriter is the inverse link: the younger in-flight writer of
+	// the same register whose PrevWriter is this uop, if any. Commit and
+	// squash use it to unhook this uop from the rename history before it
+	// is recycled.
+	NextWriter *Uop
+
+	// Gen counts reincarnations of this allocation (see UopPool): a
+	// DepRef whose generation disagrees is a stale registration from a
+	// squashed previous life and must be ignored.
+	Gen uint64
 
 	// dependents are dispatched consumers waiting on this uop's result.
-	dependents []*Uop
+	dependents []DepRef
 
 	// Timing (absolute cycles).
 	FetchedAt    uint64
@@ -108,15 +118,36 @@ func (u *Uop) Kind() isa.Kind { return u.Dyn.Static.Kind }
 // Ready reports whether all source operands are available.
 func (u *Uop) Ready() bool { return u.SrcPending == 0 }
 
+// DepRef is a generation-stamped reference to a dependent uop. With pooled
+// uops a producer's dependents list can outlive a squashed consumer whose
+// allocation was already reincarnated; the generation detects that.
+type DepRef struct {
+	U   *Uop
+	Gen uint64
+}
+
+// Live reports whether the reference still points at the registration-time
+// incarnation.
+func (r DepRef) Live() bool { return r.U.Gen == r.Gen }
+
 // AddDependent registers d as waiting on this uop's result.
-func (u *Uop) AddDependent(d *Uop) { u.dependents = append(u.dependents, d) }
+func (u *Uop) AddDependent(d *Uop) { u.dependents = append(u.dependents, DepRef{d, d.Gen}) }
 
 // Dependents returns the registered consumers.
-func (u *Uop) Dependents() []*Uop { return u.dependents }
+func (u *Uop) Dependents() []DepRef { return u.dependents }
 
-// ClearDependents drops the consumer list (after wakeup) so completed uops
-// do not pin their consumers in memory.
-func (u *Uop) ClearDependents() { u.dependents = nil }
+// ClearDependents empties the consumer list (after wakeup), keeping the
+// backing array for the allocation's next life.
+func (u *Uop) ClearDependents() { u.dependents = u.dependents[:0] }
+
+// Reset returns the uop to its just-allocated state for reuse, advancing
+// the generation so stale DepRefs to the previous life are detectable. The
+// dependents backing array is retained.
+func (u *Uop) Reset() {
+	deps := u.dependents[:0]
+	gen := u.Gen + 1
+	*u = Uop{Gen: gen, IQSlot: -1, LSQSlot: -1, dependents: deps}
+}
 
 // IQResidency returns the cycles this uop spent in the issue queue, given
 // the current cycle for still-resident uops.

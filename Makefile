@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-throughput golden experiments examples fmt vet clean
+.PHONY: all build test test-short test-race bench bench-throughput golden experiments examples serve fmt vet clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# Tier-1 gate: vet first, then the full suite.
+test: vet
 	$(GO) test ./...
 
 test-short:
@@ -46,6 +47,11 @@ examples:
 	$(GO) run ./examples/memhog
 	$(GO) run ./examples/dvmbudget
 	$(GO) run ./examples/profiling
+	$(GO) run ./examples/service
+
+# Run the simulation daemon (see README "Simulation service").
+serve:
+	$(GO) run ./cmd/visasimd -addr :8080
 
 fmt:
 	gofmt -w .

@@ -10,6 +10,11 @@
 // writes machine-readable records (see -bench-json, -cpuprofile). The
 // shapes — not the absolute values — are the reproduction target;
 // EXPERIMENTS.md records the comparison against the paper.
+//
+// With -server, every sweep runs through a visasimd daemon instead of
+// in-process, so repeated regenerations (and overlapping figures) hit the
+// daemon's content-addressed result cache. `bench` always measures the
+// local simulator and ignores -server.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"visasim/internal/experiments"
 	"visasim/internal/harness"
 	"visasim/internal/pipeline"
+	"visasim/internal/server"
 	"visasim/internal/workload"
 )
 
@@ -37,10 +43,15 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		benchJSON = flag.String("bench-json", "BENCH_pr1.json", "where the bench target writes throughput records")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the bench target to this file")
+		serverURL = flag.String("server", "", "run sweeps through a visasimd daemon at this base URL (e.g. http://localhost:8080)")
 	)
 	flag.Parse()
 
 	p := experiments.Params{Budget: *budget, Workers: *workers}
+	if *serverURL != "" {
+		cli := &server.Client{BaseURL: strings.TrimRight(*serverURL, "/")}
+		p.Runner = cli.Run
+	}
 	targets := flag.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"table2", "table3", "fig1", "fig2", "table1",

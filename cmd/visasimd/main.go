@@ -1,0 +1,93 @@
+// Command visasimd is the long-running simulation service: an HTTP daemon
+// that accepts sweep cells (core.Config JSON), executes them on a bounded
+// worker pool, and serves repeated cells from a content-addressed result
+// cache — the simulator is deterministic, so a cached result is
+// byte-identical to re-running the cell.
+//
+// Endpoints:
+//
+//	POST /v1/sweeps           submit cells, returns a job ID
+//	GET  /v1/jobs/{id}        poll job status and results
+//	GET  /v1/jobs/{id}/stream NDJSON per-cell results as they resolve
+//	GET  /healthz             liveness
+//	GET  /metrics             expvar metrics (queue, cache hit ratio, cells/sec)
+//
+// Quickstart:
+//
+//	visasimd -addr :8080 &
+//	curl -s localhost:8080/v1/sweeps -d '{"cells":[{"key":"demo",
+//	  "config":{"Benchmarks":["gcc","mcf","vpr","perlbmk"],"Scheme":1,
+//	  "MaxInstructions":100000}}]}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight jobs finish, queued
+// jobs are canceled, new submissions get 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"visasim/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		jobWorkers = flag.Int("job-workers", 2, "concurrently executing jobs")
+		simWorkers = flag.Int("workers", 0, "concurrent simulations across all jobs (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 64, "bounded job queue; beyond it submissions get 503")
+		drainWait  = flag.Duration("drain", 10*time.Minute, "shutdown grace period for in-flight jobs")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		JobWorkers: *jobWorkers,
+		SimWorkers: *simWorkers,
+		QueueDepth: *queueDepth,
+	})
+	// One daemon per process, so publishing to the global expvar registry
+	// is safe here (the server library itself never does), and the metrics
+	// also appear under /debug/vars alongside Go runtime stats.
+	expvar.Publish("visasimd", srv.MetricsVar())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "visasimd: listening on %s (job workers %d, queue %d)\n",
+		*addr, *jobWorkers, *queueDepth)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "visasimd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "visasimd: shutting down (in-flight jobs finish, queued jobs cancel)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "visasimd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "visasimd: drain: %v\n", err)
+		os.Exit(1)
+	}
+}

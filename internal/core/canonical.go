@@ -1,0 +1,43 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// hashDomain versions the cell-hash encoding. Bump it whenever Config's
+// canonical form changes meaning (field added, default changed), so stale
+// content addresses can never alias a different simulation.
+const hashDomain = "visasim-config-v1\n"
+
+// Canonical returns the configuration with every defaulted field filled in
+// (machine, budget, warmup, profile window), validated exactly as Run
+// validates it. Two Configs that Run identically — e.g. one with
+// MaxInstructions zero and one with DefaultInstructions spelled out —
+// canonicalize to equal values, which is what makes Hash a sound cache key.
+func (c Config) Canonical() (Config, error) {
+	return c.withDefaults()
+}
+
+// Hash returns a stable content address for the simulation c describes: the
+// hex SHA-256 of the canonical configuration's JSON encoding under a
+// versioned domain prefix. Every field that influences the simulation is
+// part of the canonical form, and the simulator is deterministic, so equal
+// hashes imply byte-identical Results; the simulation service uses this as
+// its result-cache key.
+func (c Config) Hash() (string, error) {
+	canon, err := c.Canonical()
+	if err != nil {
+		return "", err
+	}
+	blob, err := json.Marshal(canon)
+	if err != nil {
+		return "", fmt.Errorf("core: hashing config: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(hashDomain))
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"visasim/internal/config"
+	"visasim/internal/pipeline"
+)
+
+func TestHashDefaultInsensitive(t *testing.T) {
+	implicit := Config{
+		Benchmarks: []string{"gcc", "mcf"},
+		Scheme:     SchemeVISA,
+		Policy:     pipeline.PolicyICOUNT,
+	}
+	m := config.Default()
+	explicit := Config{
+		Machine:         &m,
+		Benchmarks:      []string{"gcc", "mcf"},
+		Scheme:          SchemeVISA,
+		Policy:          pipeline.PolicyICOUNT,
+		MaxInstructions: DefaultInstructions,
+		Warmup:          DefaultInstructions / 4,
+	}
+	hi, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != he {
+		t.Fatalf("spelled-out defaults changed the hash: %s vs %s", hi, he)
+	}
+	if len(hi) != 64 {
+		t.Fatalf("hash %q is not hex SHA-256", hi)
+	}
+}
+
+func TestHashSeparatesConfigs(t *testing.T) {
+	base := Config{Benchmarks: []string{"gcc"}, Scheme: SchemeBase}
+	seen := map[string]string{}
+	for name, cfg := range map[string]Config{
+		"base":      base,
+		"visa":      {Benchmarks: []string{"gcc"}, Scheme: SchemeVISA},
+		"policy":    {Benchmarks: []string{"gcc"}, Scheme: SchemeBase, Policy: pipeline.PolicyFLUSH},
+		"budget":    {Benchmarks: []string{"gcc"}, Scheme: SchemeBase, MaxInstructions: 12345},
+		"bench":     {Benchmarks: []string{"mcf"}, Scheme: SchemeBase},
+		"twothread": {Benchmarks: []string{"gcc", "gcc"}, Scheme: SchemeBase},
+	} {
+		h, err := cfg.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("configs %s and %s collide on %s", name, prev, h)
+		}
+		seen[h] = name
+	}
+}
+
+func TestHashRejectsInvalidConfig(t *testing.T) {
+	if _, err := (Config{}).Hash(); err == nil {
+		t.Fatal("empty benchmark list hashed without error")
+	}
+	if _, err := (Config{Benchmarks: []string{"gcc"}, Scheme: SchemeDVM}).Hash(); err == nil {
+		t.Fatal("DVM without a target hashed without error")
+	}
+}

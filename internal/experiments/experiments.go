@@ -26,6 +26,21 @@ type Params struct {
 	Budget uint64
 	// Workers bounds concurrent simulations (GOMAXPROCS when 0).
 	Workers int
+	// Runner, when non-nil, replaces harness.Run for every sweep. It must
+	// have harness.Run's semantics (keyed results, first error aborts).
+	// cmd/experiments -server points it at a server.Client so sweeps
+	// execute on — and populate the result cache of — a visasimd daemon.
+	Runner func(cells []harness.Cell, opt harness.Options) (harness.Results, error)
+}
+
+// run executes one sweep through the configured runner (harness.Run when
+// none is set). Every experiment goes through this seam.
+func (p Params) run(cells []harness.Cell) (harness.Results, error) {
+	opt := harness.Options{Workers: p.Workers}
+	if p.Runner != nil {
+		return p.Runner(cells, opt)
+	}
+	return harness.Run(cells, opt)
 }
 
 // DefaultBudget is the default per-run instruction budget.
@@ -68,7 +83,7 @@ func runMixes(p Params, schemes []core.Scheme, policies []pipeline.FetchPolicyKi
 			}
 		}
 	}
-	return harness.Run(cells, harness.Options{Workers: p.Workers})
+	return p.run(cells)
 }
 
 // categoryMean averages f over the mixes of each category, returning values

@@ -49,7 +49,7 @@ func ExtensionROBDVM(p Params) (*ROBDVMResult, error) {
 			})
 		}
 	}
-	res, err := harness.Run(cells, harness.Options{Workers: p.Workers})
+	res, err := p.run(cells)
 	if err != nil {
 		return nil, err
 	}

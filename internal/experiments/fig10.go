@@ -55,7 +55,7 @@ func Fig10(p Params) (*Fig10Result, error) {
 			})
 		}
 	}
-	dyn, err := harness.Run(cells, harness.Options{Workers: p.Workers})
+	dyn, err := p.run(cells)
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +78,7 @@ func Fig10(p Params) (*Fig10Result, error) {
 			})
 		}
 	}
-	stat, err := harness.Run(cells, harness.Options{Workers: p.Workers})
+	stat, err := p.run(cells)
 	if err != nil {
 		return nil, err
 	}

@@ -54,7 +54,7 @@ func figDVM(p Params, pol pipeline.FetchPolicyKind) (*Fig8Result, error) {
 			})
 		}
 	}
-	dvmRes, err := harness.Run(cells, harness.Options{Workers: p.Workers})
+	dvmRes, err := p.run(cells)
 	if err != nil {
 		return nil, err
 	}

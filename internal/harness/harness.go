@@ -40,6 +40,11 @@ type CellStats struct {
 // Stats maps cell keys to their cost records.
 type Stats map[string]CellStats
 
+// DefaultWorkers returns the worker count used when Options.Workers is 0
+// (GOMAXPROCS), so other pools — e.g. the simulation service — can share
+// the default.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // Options tunes batch execution.
 type Options struct {
 	// Workers bounds concurrent simulations (GOMAXPROCS when 0).
@@ -49,8 +54,25 @@ type Options struct {
 	CPUProfile string
 }
 
+// CellError reports which cell of a batch failed and why. It is the
+// concrete type of the error Run and RunStats return when a simulation
+// fails, so callers sweeping many cells can recover the failing cell's key
+// with errors.As instead of parsing the message.
+type CellError struct {
+	// Key is the failing cell's key.
+	Key string
+	// Err is the underlying simulation error.
+	Err error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %s: %v", e.Key, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
 // Run executes every cell and returns the keyed results. The first error
-// aborts the batch (outstanding cells finish; queued ones are skipped).
+// aborts the batch (outstanding cells finish; queued ones are skipped) and
+// is returned as a *CellError naming the cell that failed.
 func Run(cells []Cell, opt Options) (Results, error) {
 	res, _, err := RunStats(cells, opt)
 	return res, err
@@ -114,7 +136,7 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
-						firstErr = fmt.Errorf("cell %s: %w", c.Key, err)
+						firstErr = &CellError{Key: c.Key, Err: err}
 					}
 				} else {
 					results[c.Key] = res

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -51,6 +52,36 @@ func TestErrorPropagates(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "bad") {
 		t.Fatalf("error %v does not name the failing cell", err)
+	}
+}
+
+// TestAbortErrorIsKeyed pins the abort path's contract: when a cell fails,
+// the batch aborts, no partial results leak out, and the returned error is
+// a *CellError carrying the failing cell's key and the underlying cause.
+func TestAbortErrorIsKeyed(t *testing.T) {
+	bad := Cell{Key: "doomed", Cfg: core.Config{Benchmarks: []string{"nonesuch"}, MaxInstructions: 1000}}
+	cells := []Cell{bad, cell("ok1", "gcc"), cell("ok2", "mcf")}
+
+	res, stats, err := RunStats(cells, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("bad cell did not abort the batch")
+	}
+	if res != nil || stats != nil {
+		t.Fatalf("aborted batch leaked partial results: %v %v", res, stats)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not a *CellError", err)
+	}
+	if ce.Key != "doomed" {
+		t.Fatalf("CellError names cell %q, want %q", ce.Key, "doomed")
+	}
+	if ce.Err == nil || !strings.Contains(ce.Err.Error(), "nonesuch") {
+		t.Fatalf("CellError cause %v does not carry the simulation error", ce.Err)
+	}
+	// The wrapped cause must stay reachable through errors.Unwrap.
+	if !errors.Is(err, ce.Err) {
+		t.Fatal("errors.Is cannot reach the wrapped cause")
 	}
 }
 

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+
+	"visasim/internal/core"
+	"visasim/internal/harness"
+)
+
+// SubmitCell is one sweep cell in a submission: a key naming the cell in
+// the job's result set plus the full simulation configuration (the same
+// core.Config shape cmd/visasim's -config machinery and the harness use).
+type SubmitCell struct {
+	// Key names the cell within the job; it must be unique in the
+	// submission. When empty, the cell's content hash is used.
+	Key string `json:"key,omitempty"`
+	// Config describes the simulation. Defaults are filled in exactly as
+	// core.Run fills them, so a partial configuration is fine.
+	Config core.Config `json:"config"`
+}
+
+// SubmitRequest is the body of POST /v1/sweeps.
+type SubmitRequest struct {
+	Cells []SubmitCell `json:"cells"`
+}
+
+// SubmitResponse acknowledges an accepted sweep.
+type SubmitResponse struct {
+	// ID identifies the job for polling.
+	ID string `json:"id"`
+	// Cells echoes the number of accepted cells.
+	Cells int `json:"cells"`
+	// Job is the poll URL for the job ("/v1/jobs/{id}").
+	Job string `json:"job"`
+	// Stream is the NDJSON event-stream URL ("/v1/jobs/{id}/stream").
+	Stream string `json:"stream"`
+}
+
+// Job states, in lifecycle order.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// CellStatus is one cell's progress within a job.
+type CellStatus struct {
+	Key string `json:"key"`
+	// Hash is the cell's content address: core.Config.Hash() of the
+	// canonical configuration, which is also its result-cache key.
+	Hash string `json:"hash"`
+	// Done reports whether the cell has resolved (result or error).
+	Done bool `json:"done"`
+	// CacheHit reports that the result came from the cache or was shared
+	// with a concurrent identical cell rather than freshly simulated.
+	CacheHit bool `json:"cache_hit"`
+	// Result is the simulation outcome (exactly core.Result's JSON).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the simulation error, when the cell failed.
+	Error string `json:"error,omitempty"`
+	// Stats is the simulator cost of the run that produced the result;
+	// for cache hits it echoes the original run's cost.
+	Stats harness.CellStats `json:"stats"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string       `json:"id"`
+	State string       `json:"state"`
+	Cells []CellStatus `json:"cells"`
+	// CacheHits counts resolved cells served without a fresh simulation.
+	CacheHits int `json:"cache_hits"`
+	// Error is set when the whole job failed or was canceled.
+	Error string `json:"error,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of GET /v1/jobs/{id}/stream: a "cell"
+// event per resolved cell as it resolves, then a final "end" event carrying
+// the job's terminal state.
+type StreamEvent struct {
+	Type string `json:"type"` // "cell" or "end"
+	// Cell is set on "cell" events.
+	Cell *CellStatus `json:"cell,omitempty"`
+	// State is set on the final "end" event.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}

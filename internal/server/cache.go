@@ -1,0 +1,84 @@
+package server
+
+import (
+	"sync"
+
+	"visasim/internal/core"
+	"visasim/internal/harness"
+)
+
+// cacheEntry is one content-addressed result slot. The fields behind done
+// are written exactly once, before done is closed; readers wait on done, so
+// the channel close is the publication barrier.
+type cacheEntry struct {
+	done  chan struct{}
+	res   *core.Result
+	stats harness.CellStats
+	err   error
+}
+
+// resolved reports whether the entry has been filled (without blocking).
+func (e *cacheEntry) resolved() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// resultCache is the content-addressed result store with single-flight
+// semantics: the first claimant of a hash becomes the leader and runs the
+// simulation; everyone else waits on the same entry. Determinism makes this
+// sound — a config hash fully determines the Result, so sharing one run is
+// indistinguishable from running again (see DESIGN.md §7).
+//
+// Successful results are kept forever (the working sets are experiment
+// sweeps, bounded by the config space callers explore); failed entries are
+// evicted so a transient failure does not poison the address.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{entries: map[string]*cacheEntry{}}
+}
+
+// claim returns the entry for hash and whether the caller is its leader.
+// A leader must eventually call fill or fail, or followers block forever.
+func (c *resultCache) claim(hash string) (e *cacheEntry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[hash]; ok {
+		return e, false
+	}
+	e = &cacheEntry{done: make(chan struct{})}
+	c.entries[hash] = e
+	return e, true
+}
+
+// fill publishes a successful result to the entry's waiters and future
+// claimants.
+func (c *resultCache) fill(e *cacheEntry, res *core.Result, stats harness.CellStats) {
+	e.res = res
+	e.stats = stats
+	close(e.done)
+}
+
+// fail publishes an error to the entry's waiters and evicts the address so
+// a later submission retries.
+func (c *resultCache) fail(hash string, e *cacheEntry, err error) {
+	c.mu.Lock()
+	delete(c.entries, hash)
+	c.mu.Unlock()
+	e.err = err
+	close(e.done)
+}
+
+// size returns the number of live entries (resolved or in flight).
+func (c *resultCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"visasim/internal/core"
+	"visasim/internal/harness"
+)
+
+// Client runs sweeps against a visasimd daemon. Its Run and RunStats
+// methods mirror harness.Run / harness.RunStats, so callers (notably
+// experiments.Params.Runner) can swap local execution for the service —
+// and its cache — without other changes.
+type Client struct {
+	// BaseURL locates the daemon, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+	// PollInterval spaces job polls (50ms when 0).
+	PollInterval time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) poll() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 50 * time.Millisecond
+}
+
+// decodeError surfaces the server's JSON error body.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er errorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// Submit posts one sweep and returns the job acknowledgement.
+func (c *Client) Submit(cells []harness.Cell) (SubmitResponse, error) {
+	req := SubmitRequest{Cells: make([]SubmitCell, len(cells))}
+	for i, cell := range cells {
+		req.Cells[i] = SubmitCell{Key: cell.Key, Config: cell.Cfg}
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	resp, err := c.http().Post(c.BaseURL+"/v1/sweeps", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return SubmitResponse{}, decodeError(resp)
+	}
+	var ack SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return SubmitResponse{}, fmt.Errorf("decoding submit response: %w", err)
+	}
+	return ack, nil
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(id string) (JobStatus, error) {
+	resp, err := c.http().Get(c.BaseURL + "/v1/jobs/" + id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, decodeError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, fmt.Errorf("decoding job status: %w", err)
+	}
+	return st, nil
+}
+
+// Wait polls the job until it reaches a terminal state.
+func (c *Client) Wait(id string) (JobStatus, error) {
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st, nil
+		}
+		time.Sleep(c.poll())
+	}
+}
+
+// Run submits the cells, waits for the job, and returns keyed results with
+// harness.Run's semantics: the first failing cell aborts with a *CellError.
+func (c *Client) Run(cells []harness.Cell, opt harness.Options) (harness.Results, error) {
+	res, _, err := c.RunStats(cells, opt)
+	return res, err
+}
+
+// RunStats is Run plus the per-cell cost records the daemon measured (for
+// cache hits these echo the original simulation, not the cached serve). The
+// opt.Workers bound is ignored — concurrency is the daemon's to manage.
+func (c *Client) RunStats(cells []harness.Cell, _ harness.Options) (harness.Results, harness.Stats, error) {
+	if len(cells) == 0 {
+		return harness.Results{}, harness.Stats{}, nil
+	}
+	ack, err := c.Submit(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := c.Wait(ack.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.State == StateCanceled {
+		return nil, nil, errors.New("server: job canceled: " + st.Error)
+	}
+	results := make(harness.Results, len(st.Cells))
+	stats := make(harness.Stats, len(st.Cells))
+	for _, cell := range st.Cells {
+		if cell.Error != "" {
+			return nil, nil, &harness.CellError{Key: cell.Key, Err: errors.New(cell.Error)}
+		}
+		var res core.Result
+		if err := json.Unmarshal(cell.Result, &res); err != nil {
+			return nil, nil, fmt.Errorf("decoding result for cell %s: %w", cell.Key, err)
+		}
+		results[cell.Key] = &res
+		stats[cell.Key] = cell.Stats
+	}
+	return results, stats, nil
+}

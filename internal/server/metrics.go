@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+
+	"visasim/internal/harness"
+)
+
+// maxCellStatRecords bounds the per-cell stats map in /metrics; beyond it,
+// new cells still simulate and cache but stop adding metric rows.
+const maxCellStatRecords = 512
+
+// jsonVar renders any JSON-marshalable value as an expvar.Var.
+type jsonVar struct{ v any }
+
+func (j jsonVar) String() string {
+	b, err := json.Marshal(j.v)
+	if err != nil {
+		return `"unmarshalable"`
+	}
+	return string(b)
+}
+
+// metrics aggregates the daemon's counters in a private expvar.Map — expvar
+// types for atomicity and rendering, but deliberately not published to the
+// process-global expvar registry so multiple Servers (tests!) never collide
+// on names. cmd/visasimd publishes the root map once under "visasimd".
+type metrics struct {
+	root expvar.Map
+
+	jobsSubmitted expvar.Int // accepted by POST /v1/sweeps
+	jobsQueued    expvar.Int // gauge: waiting in the queue
+	jobsRunning   expvar.Int // gauge: being executed now
+	jobsDone      expvar.Int
+	jobsFailed    expvar.Int
+	jobsCanceled  expvar.Int // rejected at shutdown while queued
+	jobsRejected  expvar.Int // refused at submit (queue full / shutdown)
+
+	cellsTotal   expvar.Int // resolved cells, hits + misses
+	cacheHits    expvar.Int // resolved without a fresh simulation
+	simsRun      expvar.Int // fresh simulations executed
+	hitRatio     expvar.Float
+	cacheSize    expvar.Int
+	simCycles    expvar.Int   // simulated cycles across all fresh runs
+	simInstrs    expvar.Int   // committed instructions across all fresh runs
+	simSeconds   expvar.Float // summed core.Run wall-clock (overlaps under parallelism)
+	cellsPerSec  expvar.Float // fresh cells per summed simulation second
+	cyclesPerSec expvar.Float
+
+	statsMu    sync.Mutex
+	cellStats  expvar.Map // per-cell CellStats, keyed by hash prefix
+	statsCount int
+}
+
+func newMetrics() *metrics {
+	m := &metrics{}
+	m.root.Init()
+	m.cellStats.Init()
+	for name, v := range map[string]expvar.Var{
+		"jobs_submitted":   &m.jobsSubmitted,
+		"jobs_queued":      &m.jobsQueued,
+		"jobs_running":     &m.jobsRunning,
+		"jobs_done":        &m.jobsDone,
+		"jobs_failed":      &m.jobsFailed,
+		"jobs_canceled":    &m.jobsCanceled,
+		"jobs_rejected":    &m.jobsRejected,
+		"cells_total":      &m.cellsTotal,
+		"cache_hits":       &m.cacheHits,
+		"sims_run":         &m.simsRun,
+		"cache_hit_ratio":  &m.hitRatio,
+		"cache_size":       &m.cacheSize,
+		"sim_cycles":       &m.simCycles,
+		"sim_instructions": &m.simInstrs,
+		"sim_seconds":      &m.simSeconds,
+		"cells_per_sec":    &m.cellsPerSec,
+		"cycles_per_sec":   &m.cyclesPerSec,
+		"cells":            &m.cellStats,
+	} {
+		m.root.Set(name, v)
+	}
+	return m
+}
+
+// recordCell accounts one resolved cell (hit or miss) and refreshes the
+// derived hit ratio.
+func (m *metrics) recordCell(hit bool) {
+	m.cellsTotal.Add(1)
+	if hit {
+		m.cacheHits.Add(1)
+	}
+	if total := m.cellsTotal.Value(); total > 0 {
+		m.hitRatio.Set(float64(m.cacheHits.Value()) / float64(total))
+	}
+}
+
+// recordSim accounts one fresh simulation's cost and publishes its
+// CellStats row under the cell's hash prefix.
+func (m *metrics) recordSim(hash string, st harness.CellStats) {
+	m.simsRun.Add(1)
+	m.simCycles.Add(int64(st.Cycles))
+	m.simInstrs.Add(int64(st.Instructions))
+	m.simSeconds.Add(st.Seconds)
+	if secs := m.simSeconds.Value(); secs > 0 {
+		m.cellsPerSec.Set(float64(m.simsRun.Value()) / secs)
+		m.cyclesPerSec.Set(float64(m.simCycles.Value()) / secs)
+	}
+	m.statsMu.Lock()
+	if m.statsCount < maxCellStatRecords {
+		m.statsCount++
+		m.cellStats.Set(hash[:12], jsonVar{st})
+	}
+	m.statsMu.Unlock()
+}

@@ -1,0 +1,511 @@
+// Package server is the visasimd simulation service: an HTTP front end over
+// the deterministic simulator with a bounded job queue, a content-addressed
+// result cache, and expvar-based metrics.
+//
+// Clients POST sweep cells (core.Config values, the same shape the harness
+// runs) to /v1/sweeps, receive a job ID, and poll /v1/jobs/{id} or stream
+// /v1/jobs/{id}/stream for results. Each cell is content-addressed by
+// core.Config.Hash — the SHA-256 of its canonical configuration — and the
+// simulator is deterministic, so a cached core.Result is byte-identical to
+// a fresh run and can be served without re-simulating. Concurrent identical
+// cells share a single simulation (single-flight); see DESIGN.md §7 for the
+// soundness argument.
+//
+// Execution is a two-level bounded pool: Options.JobWorkers jobs run
+// concurrently, and across all of them Options.SimWorkers simulations may be
+// in flight, each executed through internal/harness.RunStats so the daemon
+// reports the same per-cell cost records the CLI tools do.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"visasim/internal/core"
+	"visasim/internal/harness"
+	"visasim/internal/workload"
+)
+
+// Options tunes the service.
+type Options struct {
+	// JobWorkers bounds concurrently executing jobs (2 when 0).
+	JobWorkers int
+	// SimWorkers bounds concurrently running simulations across all jobs
+	// (GOMAXPROCS when 0, as in harness.Options).
+	SimWorkers int
+	// QueueDepth bounds the job queue; submissions beyond it are rejected
+	// with 503 (64 when 0).
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 2
+	}
+	if o.SimWorkers <= 0 {
+		o.SimWorkers = harness.DefaultWorkers()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	return o
+}
+
+// jobCell is the server-side state of one submitted cell.
+type jobCell struct {
+	key  string
+	hash string
+	cfg  core.Config // canonical form
+
+	done  bool
+	hit   bool
+	res   *core.Result
+	err   error
+	stats harness.CellStats
+}
+
+// job is one accepted sweep submission.
+type job struct {
+	id string
+
+	mu      sync.Mutex
+	state   string
+	err     string
+	cells   []jobCell
+	changed chan struct{} // closed and replaced on every state change
+}
+
+// bump signals watchers that the job changed. Callers hold j.mu.
+func (j *job) bump() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// Server is the simulation service. Create with New, mount Handler on an
+// http.Server, and stop with Shutdown.
+type Server struct {
+	opt   Options
+	cache *resultCache
+	met   *metrics
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*job
+	seq    int
+
+	queue chan *job
+	quit  chan struct{}
+	sem   chan struct{} // simulation slots
+	wg    sync.WaitGroup
+}
+
+// New starts a Server's worker pool and returns it ready to serve.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:   opt,
+		cache: newResultCache(),
+		met:   newMetrics(),
+		jobs:  map[string]*job{},
+		queue: make(chan *job, opt.QueueDepth),
+		quit:  make(chan struct{}),
+		sem:   make(chan struct{}, opt.SimWorkers),
+	}
+	s.wg.Add(opt.JobWorkers)
+	for i := 0; i < opt.JobWorkers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// MetricsVar exposes the root metrics map, e.g. for expvar.Publish in a
+// daemon binary. The library never touches the global expvar registry.
+func (s *Server) MetricsVar() expvar.Var { return &s.met.root }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown stops the service gracefully: new submissions are rejected,
+// in-flight jobs run to completion, and still-queued jobs are canceled. It
+// returns once every worker has exited, or ctx's error if that takes too
+// long (workers keep draining in the background either way). Shutdown is
+// idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.quit)
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker executes queued jobs until the queue closes. After Shutdown it
+// keeps draining the queue but cancels instead of running.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.met.jobsQueued.Add(-1)
+		select {
+		case <-s.quit:
+			s.cancelJob(j)
+			continue
+		default:
+		}
+		s.runJob(j)
+	}
+}
+
+func (s *Server) cancelJob(j *job) {
+	j.mu.Lock()
+	j.state = StateCanceled
+	j.err = "server shutting down before the job ran"
+	j.bump()
+	j.mu.Unlock()
+	s.met.jobsCanceled.Add(1)
+}
+
+// runJob resolves every cell of j through the cache: the single-flight
+// leader of each content hash simulates (through harness.RunStats, bounded
+// by the server-wide simulation semaphore) and everyone else — later cells
+// of this job, or cells of concurrent jobs — shares the leader's result.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.bump()
+	j.mu.Unlock()
+	s.met.jobsRunning.Add(1)
+
+	var wg sync.WaitGroup
+	for i := range j.cells {
+		c := &j.cells[i]
+		e, leader := s.cache.claim(c.hash)
+		if !leader {
+			if e.resolved() {
+				s.finishCell(j, c, e, true)
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-e.done
+				s.finishCell(j, c, e, true)
+			}()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.sem <- struct{}{}
+			res, stats, err := harness.RunStats(
+				[]harness.Cell{{Key: c.hash, Cfg: c.cfg}},
+				harness.Options{Workers: 1})
+			<-s.sem
+			if err != nil {
+				s.cache.fail(c.hash, e, err)
+			} else {
+				st := stats[c.hash]
+				s.met.recordSim(c.hash, st)
+				s.cache.fill(e, res[c.hash], st)
+			}
+			s.met.cacheSize.Set(int64(s.cache.size()))
+			s.finishCell(j, c, e, false)
+		}()
+	}
+	wg.Wait()
+
+	failed := false
+	j.mu.Lock()
+	for i := range j.cells {
+		if j.cells[i].err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		j.state = StateFailed
+	} else {
+		j.state = StateDone
+	}
+	j.bump()
+	j.mu.Unlock()
+
+	s.met.jobsRunning.Add(-1)
+	if failed {
+		s.met.jobsFailed.Add(1)
+	} else {
+		s.met.jobsDone.Add(1)
+	}
+}
+
+// finishCell records a resolved cache entry into the job's cell.
+func (s *Server) finishCell(j *job, c *jobCell, e *cacheEntry, hit bool) {
+	j.mu.Lock()
+	c.done = true
+	c.hit = hit
+	if e.err != nil {
+		// Followers of a failed leader report the shared cause; the
+		// CellError key (the leader's hash) is not this cell's key, so
+		// unwrap to the cause.
+		err := e.err
+		var ce *harness.CellError
+		if errors.As(err, &ce) {
+			err = ce.Err
+		}
+		c.err = err
+	} else {
+		c.res = e.res
+		c.stats = e.stats
+	}
+	j.bump()
+	j.mu.Unlock()
+	s.met.recordCell(hit)
+}
+
+// --- HTTP handlers ---
+
+// writeJSON responds compactly — deliberately un-indented, so embedded
+// json.RawMessage result bytes pass through exactly as json.Marshal
+// produced them (the byte-identical cache guarantee covers the wire form).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Cells) == 0 {
+		writeError(w, http.StatusBadRequest, "submission has no cells")
+		return
+	}
+
+	cells := make([]jobCell, len(req.Cells))
+	seen := map[string]int{}
+	for i, sc := range req.Cells {
+		canon, err := sc.Config.Canonical()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+		if err := canon.Machine.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+		for _, b := range canon.Benchmarks {
+			if _, err := workload.Get(b); err != nil {
+				writeError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+				return
+			}
+		}
+		hash, err := canon.Hash()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "cell %d: %v", i, err)
+			return
+		}
+		key := sc.Key
+		if key == "" {
+			key = hash
+		}
+		if prev, dup := seen[key]; dup {
+			writeError(w, http.StatusBadRequest, "cells %d and %d share key %q", prev, i, key)
+			return
+		}
+		seen[key] = i
+		cells[i] = jobCell{key: key, hash: hash, cfg: canon}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.met.jobsRejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%d", s.seq),
+		state:   StateQueued,
+		cells:   cells,
+		changed: make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.met.jobsRejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.opt.QueueDepth)
+		return
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	s.met.jobsSubmitted.Add(1)
+	s.met.jobsQueued.Add(1)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID:     j.id,
+		Cells:  len(cells),
+		Job:    "/v1/jobs/" + j.id,
+		Stream: "/v1/jobs/" + j.id + "/stream",
+	})
+}
+
+// snapshot renders the job's current state. It marshals results outside the
+// critical section; a resolved cell's Result is immutable.
+func (s *Server) snapshot(j *job) JobStatus {
+	j.mu.Lock()
+	st := JobStatus{ID: j.id, State: j.state, Error: j.err}
+	cells := make([]jobCell, len(j.cells))
+	copy(cells, j.cells)
+	j.mu.Unlock()
+
+	st.Cells = make([]CellStatus, len(cells))
+	for i := range cells {
+		st.Cells[i] = cellStatus(&cells[i])
+		if cells[i].done && cells[i].hit {
+			st.CacheHits++
+		}
+	}
+	return st
+}
+
+func cellStatus(c *jobCell) CellStatus {
+	cs := CellStatus{
+		Key:      c.key,
+		Hash:     c.hash,
+		Done:     c.done,
+		CacheHit: c.hit,
+		Stats:    c.stats,
+	}
+	if c.err != nil {
+		cs.Error = c.err.Error()
+	} else if c.res != nil {
+		// Marshal the cached *core.Result directly: encoding/json is
+		// deterministic for it, so these bytes are identical to a fresh
+		// run's encoding (pinned by TestCachedResultByteIdentical).
+		blob, err := json.Marshal(c.res)
+		if err != nil {
+			cs.Error = fmt.Sprintf("encoding result: %v", err)
+		} else {
+			cs.Result = blob
+		}
+	}
+	return cs
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshot(j))
+}
+
+// handleStream writes NDJSON StreamEvents: one "cell" event as each cell
+// resolves (cache hits arrive immediately, fresh runs as they finish), then
+// an "end" event with the job's terminal state.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	j.mu.Lock()
+	sent := make([]bool, len(j.cells))
+	j.mu.Unlock()
+	for {
+		j.mu.Lock()
+		state := j.state
+		jerr := j.err
+		changed := j.changed
+		var fresh []jobCell
+		for i := range j.cells {
+			if j.cells[i].done && !sent[i] {
+				sent[i] = true
+				fresh = append(fresh, j.cells[i])
+			}
+		}
+		j.mu.Unlock()
+
+		for k := range fresh {
+			cs := cellStatus(&fresh[k])
+			if err := enc.Encode(StreamEvent{Type: "cell", Cell: &cs}); err != nil {
+				return
+			}
+		}
+		if state == StateDone || state == StateFailed || state == StateCanceled {
+			enc.Encode(StreamEvent{Type: "end", State: state, Error: jerr}) //nolint:errcheck
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, s.met.root.String()) //nolint:errcheck
+}

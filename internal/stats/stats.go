@@ -97,13 +97,24 @@ func MeanIQAVF(intervals []Interval) float64 {
 
 // RQHistogram accumulates the joint distribution of ready-queue length and
 // ready-ACE counts per cycle (Figure 2 of the paper).
+// Every field is exported and the cycle total is derived from Cycles, so
+// the histogram survives a JSON round-trip (the simulation service ships
+// Results over HTTP) without private state.
 type RQHistogram struct {
 	// Cycles[l] counts cycles with ready-queue length l.
 	Cycles []uint64
 	// ACESum[l] sums the number of ready ACE instructions over those
 	// cycles.
 	ACESum []uint64
-	total  uint64
+}
+
+// total returns the number of observed cycles (the sum over all lengths).
+func (h *RQHistogram) total() uint64 {
+	var n uint64
+	for _, c := range h.Cycles {
+		n += c
+	}
+	return n
 }
 
 // NewRQHistogram returns a histogram for ready-queue lengths 0..maxLen.
@@ -122,15 +133,15 @@ func (h *RQHistogram) Observe(l, ace int) {
 	}
 	h.Cycles[l]++
 	h.ACESum[l] += uint64(ace)
-	h.total++
 }
 
 // Frac returns the fraction of cycles with ready-queue length l.
 func (h *RQHistogram) Frac(l int) float64 {
-	if h.total == 0 {
+	total := h.total()
+	if total == 0 {
 		return 0
 	}
-	return float64(h.Cycles[l]) / float64(h.total)
+	return float64(h.Cycles[l]) / float64(total)
 }
 
 // ACEPct returns the mean ACE percentage among ready instructions at
@@ -154,14 +165,15 @@ func (h *RQHistogram) MaxObserved() int {
 
 // MeanLen returns the mean ready-queue length.
 func (h *RQHistogram) MeanLen() float64 {
-	if h.total == 0 {
+	total := h.total()
+	if total == 0 {
 		return 0
 	}
 	var sum uint64
 	for l, c := range h.Cycles {
 		sum += uint64(l) * c
 	}
-	return float64(sum) / float64(h.total)
+	return float64(sum) / float64(total)
 }
 
 // MeanACEPct returns the overall mean ACE percentage among ready

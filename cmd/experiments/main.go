@@ -38,18 +38,19 @@ import (
 
 func main() {
 	var (
-		budget    = flag.Uint64("n", experiments.DefaultBudget, "instructions per simulation")
-		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		csvDir    = flag.String("csv", "", "also write machine-readable CSVs into this directory")
-		benchJSON = flag.String("bench-json", "BENCH_pr1.json", "where the bench target writes throughput records")
-		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the bench target to this file")
-		serverURL = flag.String("server", "", "run sweeps through a visasimd daemon at this base URL (e.g. http://localhost:8080)")
+		budget        = flag.Uint64("n", experiments.DefaultBudget, "instructions per simulation")
+		workers       = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		csvDir        = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		benchJSON     = flag.String("bench-json", "BENCH_pr1.json", "where the bench target writes throughput records")
+		cpuProf       = flag.String("cpuprofile", "", "write a pprof CPU profile of the bench target to this file")
+		serverURL     = flag.String("server", "", "run sweeps through a visasimd daemon at this base URL (e.g. http://localhost:8080)")
+		serverTimeout = flag.Duration("server-timeout", time.Hour, "per-sweep deadline when using -server (0 disables)")
 	)
 	flag.Parse()
 
 	p := experiments.Params{Budget: *budget, Workers: *workers}
 	if *serverURL != "" {
-		cli := &server.Client{BaseURL: strings.TrimRight(*serverURL, "/")}
+		cli := &server.Client{BaseURL: strings.TrimRight(*serverURL, "/"), Timeout: *serverTimeout}
 		p.Runner = cli.Run
 	}
 	targets := flag.Args()

@@ -46,6 +46,7 @@ func main() {
 		jobWorkers = flag.Int("job-workers", 2, "concurrently executing jobs")
 		simWorkers = flag.Int("workers", 0, "concurrent simulations across all jobs (0 = GOMAXPROCS)")
 		queueDepth = flag.Int("queue-depth", 64, "bounded job queue; beyond it submissions get 503")
+		jobHistory = flag.Int("job-history", 256, "terminal jobs retained for polling; older ones are evicted")
 		drainWait  = flag.Duration("drain", 10*time.Minute, "shutdown grace period for in-flight jobs")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 		JobWorkers: *jobWorkers,
 		SimWorkers: *simWorkers,
 		QueueDepth: *queueDepth,
+		JobHistory: *jobHistory,
 	})
 	// One daemon per process, so publishing to the global expvar registry
 	// is safe here (the server library itself never does), and the metrics

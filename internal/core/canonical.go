@@ -10,13 +10,17 @@ import (
 // hashDomain versions the cell-hash encoding. Bump it whenever Config's
 // canonical form changes meaning (field added, default changed), so stale
 // content addresses can never alias a different simulation.
-const hashDomain = "visasim-config-v1\n"
+const hashDomain = "visasim-config-v2\n"
 
 // Canonical returns the configuration with every defaulted field filled in
 // (machine, budget, warmup, profile window), validated exactly as Run
 // validates it. Two Configs that Run identically — e.g. one with
-// MaxInstructions zero and one with DefaultInstructions spelled out —
-// canonicalize to equal values, which is what makes Hash a sound cache key.
+// MaxInstructions zero and one with DefaultInstructions spelled out, or
+// any two negative Warmup values (both "disabled", canonically -1) —
+// canonicalize to equal values, which is what makes Hash a sound cache
+// key. Canonicalization is idempotent: Canonical of a canonical Config is
+// the identity, so re-canonicalizing (as Run does on already-canonical
+// submissions) never changes what is simulated.
 func (c Config) Canonical() (Config, error) {
 	return c.withDefaults()
 }

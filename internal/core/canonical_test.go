@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"visasim/internal/config"
@@ -57,6 +58,76 @@ func TestHashSeparatesConfigs(t *testing.T) {
 			t.Fatalf("configs %s and %s collide on %s", name, prev, h)
 		}
 		seen[h] = name
+	}
+}
+
+// TestCanonicalIdempotent pins the property the service relies on:
+// canonicalizing an already-canonical Config is the identity, so the server
+// can hash a canonical form and later Run it without the defaults shifting
+// underneath (notably Warmup<0, whose canonical form must not collapse into
+// the "unset" sentinel 0).
+func TestCanonicalIdempotent(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"defaults":  {Benchmarks: []string{"gcc"}, Scheme: SchemeVISA},
+		"no-warmup": {Benchmarks: []string{"gcc"}, Scheme: SchemeVISA, Warmup: -7},
+		"explicit":  {Benchmarks: []string{"gcc", "mcf"}, Scheme: SchemeBase, MaxInstructions: 9999, Warmup: 123},
+	} {
+		once, err := cfg.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		twice, err := once.Canonical()
+		if err != nil {
+			t.Fatalf("%s: re-canonicalize: %v", name, err)
+		}
+		if !reflect.DeepEqual(once, twice) {
+			t.Errorf("%s: Canonical is not idempotent:\nonce:  %+v\ntwice: %+v", name, once, twice)
+		}
+		h1, err := once.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h2, err := cfg.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h1 != h2 {
+			t.Errorf("%s: canonical form hashes differently from the original: %s vs %s", name, h1, h2)
+		}
+	}
+}
+
+// TestHashWarmupDisabled checks that "warmup disabled" is one equivalence
+// class — every negative Warmup hashes identically — and that it is distinct
+// from both the default and an explicit warmup.
+func TestHashWarmupDisabled(t *testing.T) {
+	base := Config{Benchmarks: []string{"gcc"}, Scheme: SchemeBase}
+	hash := func(warmup int64) string {
+		t.Helper()
+		cfg := base
+		cfg.Warmup = warmup
+		h, err := cfg.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	off1, off5 := hash(-1), hash(-5)
+	if off1 != off5 {
+		t.Errorf("Warmup -1 and -5 both disable warmup but hash differently: %s vs %s", off1, off5)
+	}
+	if def := hash(0); def == off1 {
+		t.Errorf("disabled warmup aliases the default-warmup hash %s", def)
+	}
+	if explicit := hash(DefaultInstructions / 4); explicit == off1 {
+		t.Errorf("disabled warmup aliases an explicit warmup hash %s", explicit)
+	}
+	canon, err := Config{Benchmarks: []string{"gcc"}, Scheme: SchemeBase, Warmup: -5}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Warmup != -1 {
+		t.Errorf("canonical disabled warmup = %d, want -1", canon.Warmup)
 	}
 }
 

@@ -95,7 +95,8 @@ type Config struct {
 	// MaxCycles optionally bounds wall-clock cycles.
 	MaxCycles uint64
 	// Warmup commits this many instructions before statistics start
-	// (DefaultWarmupFraction of the budget when 0; negative disables).
+	// (a quarter of the budget when 0; negative disables warmup, and
+	// every negative value canonicalizes to -1).
 	Warmup int64
 	// ProfileWindow is the offline ACE analysis window
 	// (ace.DefaultWindow when 0).
@@ -136,11 +137,17 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.MaxInstructions == 0 {
 		out.MaxInstructions = DefaultInstructions
 	}
-	if out.Warmup == 0 {
+	switch {
+	case out.Warmup == 0:
 		out.Warmup = int64(out.MaxInstructions / 4)
-	}
-	if out.Warmup < 0 {
-		out.Warmup = 0
+	case out.Warmup < 0:
+		// "Warmup disabled" keeps a canonical value distinct from the
+		// unset sentinel 0, so canonicalization is idempotent: re-running
+		// withDefaults on a canonical Config (as Run does on submissions
+		// the service already canonicalized) cannot turn a disabled
+		// warmup back into the default. Run clamps to 0 at the point of
+		// use.
+		out.Warmup = -1
 	}
 	if out.ProfileWindow == 0 {
 		out.ProfileWindow = ace.DefaultWindow
@@ -247,9 +254,14 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	warmup := c.Warmup
+	if warmup < 0 { // canonical "disabled" sentinel
+		warmup = 0
+	}
+
 	streams := make([]*trace.Stream, len(c.Benchmarks))
 	var aceFrac, tagAcc float64
-	profLen := c.MaxInstructions + uint64(c.Warmup) + profileSlack
+	profLen := c.MaxInstructions + uint64(warmup) + profileSlack
 	for i, name := range c.Benchmarks {
 		b, err := workload.Get(name)
 		if err != nil {
@@ -309,7 +321,7 @@ func Run(cfg Config) (*Result, error) {
 		Streams:            streams,
 		MaxInstructions:    c.MaxInstructions,
 		MaxCycles:          c.MaxCycles,
-		WarmupInstructions: uint64(c.Warmup),
+		WarmupInstructions: uint64(warmup),
 		OracleTags:         c.OracleTags,
 		IntervalCycles:     c.IntervalCycles,
 		InvariantEvery:     c.InvariantEvery,

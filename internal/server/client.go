@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,6 +25,11 @@ type Client struct {
 	HTTP *http.Client
 	// PollInterval spaces job polls (50ms when 0).
 	PollInterval time.Duration
+	// Timeout bounds one Run/RunStats call end to end — submit plus the
+	// wait for the job to reach a terminal state. Zero means no deadline;
+	// set one so a wedged daemon fails the sweep instead of hanging it.
+	// Callers needing per-call control use Wait with their own context.
+	Timeout time.Duration
 }
 
 func (c *Client) http() *http.Client {
@@ -50,8 +56,9 @@ func decodeError(resp *http.Response) error {
 	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 }
 
-// Submit posts one sweep and returns the job acknowledgement.
-func (c *Client) Submit(cells []harness.Cell) (SubmitResponse, error) {
+// Submit posts one sweep and returns the job acknowledgement. The request
+// is canceled when ctx expires.
+func (c *Client) Submit(ctx context.Context, cells []harness.Cell) (SubmitResponse, error) {
 	req := SubmitRequest{Cells: make([]SubmitCell, len(cells))}
 	for i, cell := range cells {
 		req.Cells[i] = SubmitCell{Key: cell.Key, Config: cell.Cfg}
@@ -60,7 +67,12 @@ func (c *Client) Submit(cells []harness.Cell) (SubmitResponse, error) {
 	if err != nil {
 		return SubmitResponse{}, err
 	}
-	resp, err := c.http().Post(c.BaseURL+"/v1/sweeps", "application/json", bytes.NewReader(blob))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sweeps", bytes.NewReader(blob))
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
 	if err != nil {
 		return SubmitResponse{}, err
 	}
@@ -75,9 +87,14 @@ func (c *Client) Submit(cells []harness.Cell) (SubmitResponse, error) {
 	return ack, nil
 }
 
-// Job fetches a job's current status.
-func (c *Client) Job(id string) (JobStatus, error) {
-	resp, err := c.http().Get(c.BaseURL + "/v1/jobs/" + id)
+// Job fetches a job's current status. The request is canceled when ctx
+// expires.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -92,10 +109,13 @@ func (c *Client) Job(id string) (JobStatus, error) {
 	return st, nil
 }
 
-// Wait polls the job until it reaches a terminal state.
-func (c *Client) Wait(id string) (JobStatus, error) {
+// Wait polls the job until it reaches a terminal state or ctx expires,
+// whichever comes first; an expired context is returned as an error (and
+// cancels any in-flight poll) rather than waiting forever on a job the
+// daemon never finishes.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 	for {
-		st, err := c.Job(id)
+		st, err := c.Job(ctx, id)
 		if err != nil {
 			return JobStatus{}, err
 		}
@@ -103,7 +123,11 @@ func (c *Client) Wait(id string) (JobStatus, error) {
 		case StateDone, StateFailed, StateCanceled:
 			return st, nil
 		}
-		time.Sleep(c.poll())
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, fmt.Errorf("server: waiting for job %s: %w", id, ctx.Err())
+		case <-time.After(c.poll()):
+		}
 	}
 }
 
@@ -116,16 +140,23 @@ func (c *Client) Run(cells []harness.Cell, opt harness.Options) (harness.Results
 
 // RunStats is Run plus the per-cell cost records the daemon measured (for
 // cache hits these echo the original simulation, not the cached serve). The
-// opt.Workers bound is ignored — concurrency is the daemon's to manage.
+// opt.Workers bound is ignored — concurrency is the daemon's to manage. The
+// whole call is bounded by c.Timeout when set.
 func (c *Client) RunStats(cells []harness.Cell, _ harness.Options) (harness.Results, harness.Stats, error) {
 	if len(cells) == 0 {
 		return harness.Results{}, harness.Stats{}, nil
 	}
-	ack, err := c.Submit(cells)
+	ctx := context.Background()
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	ack, err := c.Submit(ctx, cells)
 	if err != nil {
 		return nil, nil, err
 	}
-	st, err := c.Wait(ack.ID)
+	st, err := c.Wait(ctx, ack.ID)
 	if err != nil {
 		return nil, nil, err
 	}

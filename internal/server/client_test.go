@@ -1,6 +1,10 @@
 package server
 
 import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -64,11 +68,39 @@ func TestClientSubmitErrors(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "nonesuch") {
 		t.Fatalf("bad config error not surfaced: %v", err)
 	}
-	if _, err := cli.Job("no-such-job"); err == nil {
+	if _, err := cli.Job(context.Background(), "no-such-job"); err == nil {
 		t.Fatal("missing job did not error")
 	}
 	empty, err := cli.Run(nil, harness.Options{})
 	if err != nil || len(empty) != 0 {
 		t.Fatalf("empty batch: %v %v", empty, err)
+	}
+}
+
+// TestWaitDeadline pins that a daemon which never finishes a job cannot
+// hang the client: Wait honours its context and Client.Timeout bounds a
+// whole RunStats call. A stub server stands in for the wedged daemon.
+func TestWaitDeadline(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: "job-1", Cells: 1})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, JobStatus{ID: "job-1", State: StateRunning})
+	})
+	stub := httptest.NewServer(mux)
+	defer stub.Close()
+
+	cli := &Client{BaseURL: stub.URL, PollInterval: time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Wait(ctx, "job-1"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait on a never-terminal job returned %v, want deadline exceeded", err)
+	}
+
+	cli.Timeout = 50 * time.Millisecond
+	cells := []harness.Cell{{Key: "c", Cfg: testCfg("gcc", core.SchemeBase)}}
+	if _, _, err := cli.RunStats(cells, harness.Options{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunStats with Timeout returned %v, want deadline exceeded", err)
 	}
 }

@@ -42,6 +42,12 @@ type Options struct {
 	// QueueDepth bounds the job queue; submissions beyond it are rejected
 	// with 503 (64 when 0).
 	QueueDepth int
+	// JobHistory bounds how many terminal (done/failed/canceled) jobs the
+	// server keeps for polling (256 when 0). Older terminal jobs are
+	// evicted oldest-first and their IDs 404; their results stay reachable
+	// through the content-addressed cache, so a long-running daemon does
+	// not grow with every submission.
+	JobHistory int
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +59,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 256
 	}
 	return o
 }
@@ -97,6 +106,7 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	jobs   map[string]*job
+	hist   []string // terminal job IDs, oldest first, capped at JobHistory
 	seq    int
 
 	queue chan *job
@@ -188,7 +198,21 @@ func (s *Server) cancelJob(j *job) {
 	j.err = "server shutting down before the job ran"
 	j.bump()
 	j.mu.Unlock()
+	s.retireJob(j)
 	s.met.jobsCanceled.Add(1)
+}
+
+// retireJob records j as terminal and evicts terminal jobs beyond the
+// JobHistory cap, oldest first, so the jobs map (and the per-cell Results
+// it pins) stays bounded on a long-running daemon.
+func (s *Server) retireJob(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hist = append(s.hist, j.id)
+	for len(s.hist) > s.opt.JobHistory {
+		delete(s.jobs, s.hist[0])
+		s.hist = s.hist[1:]
+	}
 }
 
 // runJob resolves every cell of j through the cache: the single-flight
@@ -254,6 +278,7 @@ func (s *Server) runJob(j *job) {
 	}
 	j.bump()
 	j.mu.Unlock()
+	s.retireJob(j)
 
 	s.met.jobsRunning.Add(-1)
 	if failed {

@@ -184,6 +184,44 @@ func TestCachedResultByteIdentical(t *testing.T) {
 	}
 }
 
+// TestNoWarmupParity guards the canonicalization fix for Warmup<0: a
+// submitted no-warmup cell must simulate without warmup (not silently pick
+// up the default when core.Run re-applies defaults to the canonical form),
+// so the daemon's Result is byte-identical to a local harness.Run of the
+// same config.
+func TestNoWarmupParity(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cfg := testCfg("gcc", core.SchemeBase)
+	cfg.Warmup = -1
+
+	st := waitJob(t, ts, submit(t, ts, SubmitRequest{Cells: []SubmitCell{{Key: "nowarm", Config: cfg}}}).ID)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (error %q)", st.State, st.Error)
+	}
+
+	local, err := harness.Run([]harness.Cell{{Key: "nowarm", Cfg: cfg}}, harness.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(local["nowarm"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(st.Cells[0].Result, localJSON) {
+		t.Fatal("daemon Result for a no-warmup cell differs from a local harness.Run")
+	}
+
+	// Guard against the test passing vacuously: disabling warmup must
+	// actually change the simulation relative to the default-warmup config.
+	withWarmup, err := harness.Run([]harness.Cell{{Key: "warm", Cfg: testCfg("gcc", core.SchemeBase)}}, harness.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local["nowarm"].Cycles == withWarmup["warm"].Cycles {
+		t.Fatal("no-warmup run matches default-warmup cycle count; warmup was not disabled")
+	}
+}
+
 // TestSingleFlight pins the de-duplication guarantee: many concurrent
 // identical submissions trigger exactly one simulation. Run under -race via
 // the tier-1 race target.
@@ -256,6 +294,41 @@ func TestBadRequests(t *testing.T) {
 		} else if er.Error == "" {
 			t.Errorf("%s: 400 without an error body", tc.name)
 		}
+	}
+}
+
+// TestJobHistoryEviction checks the terminal-job cap: with JobHistory 1,
+// finishing a second job evicts the first (its ID 404s) while the newest
+// terminal job stays pollable and the result cache keeps both results.
+func TestJobHistoryEviction(t *testing.T) {
+	s, ts := newTestServer(t, Options{JobHistory: 1})
+	first := submit(t, ts, SubmitRequest{Cells: []SubmitCell{{Key: "a", Config: testCfg("gcc", core.SchemeBase)}}})
+	waitJob(t, ts, first.ID)
+	second := submit(t, ts, SubmitRequest{Cells: []SubmitCell{{Key: "b", Config: testCfg("gcc", core.SchemeVISA)}}})
+	waitJob(t, ts, second.ID)
+
+	// Retirement runs just after the terminal state becomes visible, so
+	// poll briefly for the eviction.
+	deadline := time.Now().Add(time.Minute)
+	for s.lookup(first.ID) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("first job was never evicted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job: HTTP %d, want 404", resp.StatusCode)
+	}
+	if st := getJob(t, ts, second.ID); st.State != StateDone {
+		t.Fatalf("newest job state %s, want done", st.State)
+	}
+	if n := s.cache.size(); n != 2 {
+		t.Fatalf("result cache has %d entries after eviction, want 2", n)
 	}
 }
 

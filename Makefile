@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-throughput golden experiments examples serve fmt vet clean
+.PHONY: all build test test-short test-race cluster-test bench bench-throughput golden experiments examples serve fmt vet clean
 
 all: build test
 
@@ -22,6 +22,12 @@ test-short:
 # 10-minute budget, hence the explicit timeout.
 test-race:
 	$(GO) test -race -timeout 45m ./...
+
+# Cluster smoke test: boots two in-process visasimd backends and runs a
+# coordinator sweep across them, asserting byte-identical parity with a
+# local harness run plus checkpointed resume (see internal/dispatch).
+cluster-test:
+	$(GO) test -v -run 'TestClusterParity|TestResumeSkipsCompletedCells' ./internal/dispatch/
 
 bench:
 	$(GO) test -bench=. -benchmem .

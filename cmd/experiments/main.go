@@ -13,8 +13,12 @@
 //
 // With -server, every sweep runs through a visasimd daemon instead of
 // in-process, so repeated regenerations (and overlapping figures) hit the
-// daemon's content-addressed result cache. `bench` always measures the
-// local simulator and ignores -server.
+// daemon's content-addressed result cache. With -backends URL,URL,... the
+// sweeps instead shard across a cluster of daemons via the dispatch
+// coordinator (least-loaded assignment, retry/failover, optional -hedge);
+// add -store DIR to checkpoint completed cells to disk and -resume to skip
+// cells already checkpointed by an earlier (possibly killed) run. `bench`
+// always measures the local simulator and ignores all of these.
 package main
 
 import (
@@ -29,10 +33,12 @@ import (
 	"time"
 
 	"visasim/internal/core"
+	"visasim/internal/dispatch"
 	"visasim/internal/experiments"
 	"visasim/internal/harness"
 	"visasim/internal/pipeline"
 	"visasim/internal/server"
+	"visasim/internal/store"
 	"visasim/internal/workload"
 )
 
@@ -45,11 +51,41 @@ func main() {
 		cpuProf       = flag.String("cpuprofile", "", "write a pprof CPU profile of the bench target to this file")
 		serverURL     = flag.String("server", "", "run sweeps through a visasimd daemon at this base URL (e.g. http://localhost:8080)")
 		serverTimeout = flag.Duration("server-timeout", time.Hour, "per-sweep deadline when using -server (0 disables)")
+		backendsCSV   = flag.String("backends", "", "comma-separated visasimd base URLs; sweeps shard across them via the dispatch coordinator")
+		storeDir      = flag.String("store", "", "with -backends: checkpoint completed cells to this directory")
+		resume        = flag.Bool("resume", false, "with -backends and -store: skip cells already checkpointed")
+		hedgeAfter    = flag.Duration("hedge", 0, "with -backends: re-dispatch straggler cells after this delay (0 disables)")
 	)
 	flag.Parse()
 
 	p := experiments.Params{Budget: *budget, Workers: *workers}
-	if *serverURL != "" {
+	switch {
+	case *backendsCSV != "":
+		var st *store.Store
+		if *storeDir != "" {
+			var err error
+			st, err = store.Open(*storeDir, store.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: opening store: %v\n", err)
+				os.Exit(1)
+			}
+		} else if *resume {
+			fmt.Fprintln(os.Stderr, "experiments: -resume needs -store")
+			os.Exit(1)
+		}
+		coord, err := dispatch.New(dispatch.Options{
+			Backends:   strings.Split(*backendsCSV, ","),
+			HedgeAfter: *hedgeAfter,
+			Store:      st,
+			Resume:     *resume,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		p.Runner = coord.Run
+	case *serverURL != "":
 		cli := &server.Client{BaseURL: strings.TrimRight(*serverURL, "/"), Timeout: *serverTimeout}
 		p.Runner = cli.Run
 	}

@@ -1,0 +1,277 @@
+// Command visasimctl operates a visasimd cluster from the shell: probe
+// backend health, dump their metrics, or dispatch a sweep across all of
+// them through the coordinator (internal/dispatch) — with the same
+// retry/failover/hedging and checkpointed-resume behaviour the experiments
+// binary gets via -backends.
+//
+// Usage:
+//
+//	visasimctl health  -backends URL,URL,...
+//	visasimctl metrics -backends URL,URL,...
+//	visasimctl sweep   -backends URL,URL,... [-cells FILE] [-store DIR]
+//	                   [-resume] [-hedge 2s] [-workers N] [-timeout 10m]
+//
+// The sweep subcommand reads cells from FILE (or stdin when "-", the
+// default) in the same JSON shape POST /v1/sweeps accepts:
+//
+//	{"cells":[{"key":"demo","config":{"Benchmarks":["gcc"],
+//	  "Scheme":1,"MaxInstructions":100000}}]}
+//
+// and writes keyed results as JSON on stdout. With -store the completed
+// cells are checkpointed to disk as they finish; re-running with -resume
+// re-dispatches only the cells not yet checkpointed, so a killed sweep
+// continues where it stopped. Exit status is non-zero when any backend is
+// unhealthy (health) or the sweep fails (sweep).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"visasim/internal/dispatch"
+	"visasim/internal/harness"
+	"visasim/internal/server"
+	"visasim/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "health":
+		err = cmdHealth(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "visasimctl: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "visasimctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  visasimctl health  -backends URL,URL,...
+  visasimctl metrics -backends URL,URL,...
+  visasimctl sweep   -backends URL,URL,... [-cells FILE] [-store DIR] [-resume]
+                     [-hedge D] [-workers N] [-timeout D]`)
+}
+
+// backendList splits and validates the -backends flag value.
+func backendList(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, fmt.Errorf("-backends is required (comma-separated visasimd base URLs)")
+	}
+	return strings.Split(csv, ","), nil
+}
+
+// cmdHealth probes every backend once and prints one line each; the exit
+// status reports whether the whole cluster is serviceable.
+func cmdHealth(args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	backendsCSV := fs.String("backends", "", "comma-separated visasimd base URLs")
+	timeout := fs.Duration("timeout", 10*time.Second, "probe deadline")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	urls, err := backendList(*backendsCSV)
+	if err != nil {
+		return err
+	}
+	c, err := dispatch.New(dispatch.Options{Backends: urls})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	down := 0
+	for _, st := range c.Probe(ctx) {
+		if st.Healthy {
+			fmt.Printf("%-40s healthy\n", st.URL)
+		} else {
+			down++
+			fmt.Printf("%-40s DOWN: %s\n", st.URL, st.Error)
+		}
+	}
+	if down > 0 {
+		return fmt.Errorf("%d of %d backends down", down, len(urls))
+	}
+	return nil
+}
+
+// cmdMetrics fetches every backend's /metrics and prints them as one JSON
+// object keyed by backend URL.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	backendsCSV := fs.String("backends", "", "comma-separated visasimd base URLs")
+	timeout := fs.Duration("timeout", 10*time.Second, "fetch deadline per backend")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	urls, err := backendList(*backendsCSV)
+	if err != nil {
+		return err
+	}
+	out := make(map[string]json.RawMessage, len(urls))
+	for _, raw := range urls {
+		url := strings.TrimRight(strings.TrimSpace(raw), "/")
+		blob, err := fetchMetrics(url, *timeout)
+		if err != nil {
+			out[url] = mustJSON(map[string]string{"error": err.Error()})
+			continue
+		}
+		out[url] = blob
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func fetchMetrics(url string, timeout time.Duration) (json.RawMessage, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	if !json.Valid(blob) {
+		return nil, fmt.Errorf("non-JSON metrics body (%d bytes)", len(blob))
+	}
+	return blob, nil
+}
+
+func mustJSON(v any) json.RawMessage {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return json.RawMessage(`"unmarshalable"`)
+	}
+	return blob
+}
+
+// cmdSweep dispatches one sweep across the cluster and prints the keyed
+// results (the same cell shape GET /v1/jobs/{id} returns) on stdout.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	backendsCSV := fs.String("backends", "", "comma-separated visasimd base URLs")
+	cellsPath := fs.String("cells", "-", `cells JSON file ("-" = stdin; same shape as POST /v1/sweeps)`)
+	storeDir := fs.String("store", "", "checkpoint completed cells to this directory")
+	resume := fs.Bool("resume", false, "skip cells already checkpointed in -store")
+	hedge := fs.Duration("hedge", 0, "re-dispatch straggler cells after this delay (0 disables)")
+	workers := fs.Int("workers", 0, "concurrently in-flight cells (0 = 4 per backend)")
+	cellTimeout := fs.Duration("timeout", 10*time.Minute, "per-cell dispatch attempt deadline")
+	verbose := fs.Bool("v", false, "print coordinator metrics to stderr after the sweep")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	urls, err := backendList(*backendsCSV)
+	if err != nil {
+		return err
+	}
+	cells, err := readCells(*cellsPath)
+	if err != nil {
+		return err
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
+			return err
+		}
+	} else if *resume {
+		return fmt.Errorf("-resume needs -store")
+	}
+
+	coord, err := dispatch.New(dispatch.Options{
+		Backends:    urls,
+		HedgeAfter:  *hedge,
+		Workers:     *workers,
+		CellTimeout: *cellTimeout,
+		Store:       st,
+		Resume:      *resume,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+
+	start := time.Now()
+	results, stats, err := coord.RunStats(cells, harness.Options{})
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "visasimctl: %d cells in %v\n%s\n",
+			len(cells), time.Since(start).Round(time.Millisecond), coord.MetricsVar())
+	}
+	if err != nil {
+		return err
+	}
+
+	type outCell struct {
+		Key    string            `json:"key"`
+		Result any               `json:"result"`
+		Stats  harness.CellStats `json:"stats"`
+	}
+	out := struct {
+		Cells []outCell `json:"cells"`
+	}{Cells: make([]outCell, 0, len(cells))}
+	for _, c := range cells { // submission order, not map order
+		out.Cells = append(out.Cells, outCell{Key: c.Key, Result: results[c.Key], Stats: stats[c.Key]})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// readCells decodes a sweep request in the daemon's submit shape.
+func readCells(path string) ([]harness.Cell, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var req server.SubmitRequest
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding cells: %w", err)
+	}
+	if len(req.Cells) == 0 {
+		return nil, fmt.Errorf("no cells in %s", path)
+	}
+	cells := make([]harness.Cell, len(req.Cells))
+	for i, c := range req.Cells {
+		cells[i] = harness.Cell{Key: c.Key, Cfg: c.Config}
+	}
+	return cells, nil
+}

@@ -2,7 +2,9 @@
 // that accepts sweep cells (core.Config JSON), executes them on a bounded
 // worker pool, and serves repeated cells from a content-addressed result
 // cache — the simulator is deterministic, so a cached result is
-// byte-identical to re-running the cell.
+// byte-identical to re-running the cell. With -store DIR the cache is
+// backed by a persistent on-disk store (internal/store): results survive
+// restarts, and a warm daemon serves them from disk without re-simulating.
 //
 // Endpoints:
 //
@@ -38,6 +40,7 @@ import (
 	"time"
 
 	"visasim/internal/server"
+	"visasim/internal/store"
 )
 
 func main() {
@@ -48,14 +51,31 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 64, "bounded job queue; beyond it submissions get 503")
 		jobHistory = flag.Int("job-history", 256, "terminal jobs retained for polling; older ones are evicted")
 		drainWait  = flag.Duration("drain", 10*time.Minute, "shutdown grace period for in-flight jobs")
+		storeDir   = flag.String("store", "", "persist results to this directory; warm restarts serve from disk")
+		storeMax   = flag.Int64("store-max-bytes", 0, "evict oldest store entries beyond this size (0 = unbounded)")
+		cacheMax   = flag.Int("cache-entries", 0, "resolved results kept in memory, LRU-evicted beyond it (0 = default 4096, negative = unbounded)")
 	)
 	flag.Parse()
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "visasimd: opening store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "visasimd: store %s (%d entries, %d bytes)\n",
+			st.Dir(), st.Len(), st.Bytes())
+	}
+
 	srv := server.New(server.Options{
-		JobWorkers: *jobWorkers,
-		SimWorkers: *simWorkers,
-		QueueDepth: *queueDepth,
-		JobHistory: *jobHistory,
+		JobWorkers:   *jobWorkers,
+		SimWorkers:   *simWorkers,
+		QueueDepth:   *queueDepth,
+		JobHistory:   *jobHistory,
+		CacheEntries: *cacheMax,
+		Store:        st,
 	})
 	// One daemon per process, so publishing to the global expvar registry
 	// is safe here (the server library itself never does), and the metrics

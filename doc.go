@@ -29,9 +29,12 @@
 //     management), all assembled behind the core facade: one
 //     core.Config in, one core.Result out.
 //   - Experiment & service layer — harness (parallel sweep runner),
-//     experiments (every table and figure), report (ASCII rendering), and
-//     server: the visasimd HTTP daemon with a job queue, a
-//     content-addressed result cache, and expvar metrics.
+//     experiments (every table and figure), report (ASCII rendering),
+//     server (the visasimd HTTP daemon with a job queue, a
+//     content-addressed result cache, and expvar metrics), store (a
+//     persistent on-disk result store keyed by the same content hashes),
+//     and dispatch (a coordinator sharding sweeps across several daemons
+//     with retry, failover, hedging, and checkpointed resume).
 //
 // # Determinism as a load-bearing property
 //
@@ -47,7 +50,10 @@
 // Commands: cmd/visasim (one simulation), cmd/avfprof (offline profiling),
 // cmd/faultsim (injection campaigns), cmd/tracedump (stream inspection),
 // cmd/experiments (regenerate every table/figure, optionally through a
-// daemon via -server), and cmd/visasimd (the simulation service).
+// daemon via -server or a cluster via -backends), cmd/visasimd (the
+// simulation service, optionally store-backed via -store), and
+// cmd/visasimctl (cluster operations: health, metrics, distributed
+// sweeps with checkpointed resume).
 // Runnable examples live under examples/; this root package holds the
 // benchmark harness (bench_test.go) plus the golden and determinism tests.
 package visasim

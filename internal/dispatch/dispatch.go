@@ -1,0 +1,286 @@
+// Package dispatch fans experiment sweeps out across a cluster of
+// visasimd backends: a coordinator that shards a sweep's cells over a
+// static backend list with least-loaded assignment, health probing,
+// per-cell retry with exponential backoff and jitter, failover after
+// repeated failures, and optional hedged re-dispatch for straggler cells.
+//
+// The coordinator's Run and RunStats mirror harness.Run / harness.RunStats
+// (keyed results, first failing cell aborts with a *harness.CellError), so
+// it drops into the experiments.Params.Runner seam: every paper table and
+// figure regenerates through the cluster unchanged. Determinism makes the
+// distribution invisible — a cell's core.Config fully determines its
+// core.Result, so which backend ran it, how many times it was retried, or
+// whether a hedge raced it cannot change the bytes that come back.
+//
+// With a persistent store attached (internal/store), completed cells are
+// checkpointed to disk as they finish and — in resume mode — cells whose
+// content address is already stored are served without dispatching at all.
+// A coordinator killed mid-sweep therefore re-dispatches only the missing
+// hashes on the next run. See DESIGN.md §8.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"visasim/internal/server"
+	"visasim/internal/store"
+)
+
+// Options tunes a Coordinator.
+type Options struct {
+	// Backends lists the visasimd base URLs the sweep shards across
+	// (required, e.g. "http://host:8080"). Trailing slashes are trimmed.
+	Backends []string
+	// HTTP is the transport shared by all backend clients and health
+	// probes (http.DefaultClient when nil).
+	HTTP *http.Client
+	// PollInterval spaces job polls against a backend (the client's 50ms
+	// default when 0).
+	PollInterval time.Duration
+	// ProbeInterval spaces /healthz probes of every backend (2s when 0).
+	// A backend that fails a probe — or a dispatch — is deprioritized
+	// until a probe succeeds again; it is never removed.
+	ProbeInterval time.Duration
+	// MaxAttempts bounds how many times one cell is dispatched before the
+	// sweep fails (3 when 0). Attempts after the first prefer a different
+	// backend (failover) and are spaced by exponential backoff.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (100ms when 0); each further
+	// retry doubles it up to MaxBackoff (5s when 0). Both are jittered by
+	// a uniform ±50% so synchronized retries from many cells spread out.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// CellTimeout bounds one dispatch attempt end to end — submit plus
+	// the wait for the backend to finish the cell (10m when 0). A wedged
+	// backend costs one timeout, not the sweep.
+	CellTimeout time.Duration
+	// HedgeAfter, when positive, re-dispatches a cell to a second backend
+	// if the first attempt has not resolved within this duration; the
+	// first result wins and the loser is canceled. Zero disables hedging.
+	HedgeAfter time.Duration
+	// Workers bounds concurrently in-flight cells across all backends
+	// (4×len(Backends) when 0).
+	Workers int
+	// Store, when non-nil, is the durable checkpoint tier: every
+	// completed cell is written through to it keyed by content hash.
+	Store *store.Store
+	// Resume, with Store set, serves cells whose content address is
+	// already stored without dispatching them — which is also the
+	// cross-sweep dedup path. Sound because the address fully determines
+	// the result (DESIGN.md §8).
+	Resume bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.CellTimeout <= 0 {
+		o.CellTimeout = 10 * time.Minute
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4 * len(o.Backends)
+	}
+	return o
+}
+
+// backend is one visasimd instance the coordinator dispatches to.
+type backend struct {
+	url string
+	cli *server.Client
+
+	healthy  atomic.Bool  // last known probe/dispatch outcome
+	inflight atomic.Int64 // cells currently dispatched here
+
+	dispatched expvar.Int // attempts sent here (including hedges)
+	failures   expvar.Int // attempts that came back retryable-failed
+}
+
+// Coordinator shards sweeps across backends. Create with New, release the
+// health prober with Close. Safe for concurrent Run/RunStats calls — the
+// worker bound and metrics are shared across them.
+type Coordinator struct {
+	opt      Options
+	backends []*backend
+	met      *metrics
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New validates the backend list and starts the health prober. Backends
+// start out presumed healthy; the first probe (or failed dispatch)
+// corrects that, so a coordinator is usable immediately.
+func New(opt Options) (*Coordinator, error) {
+	if len(opt.Backends) == 0 {
+		return nil, errors.New("dispatch: no backends")
+	}
+	opt = opt.withDefaults()
+	c := &Coordinator{opt: opt, quit: make(chan struct{})}
+	seen := map[string]bool{}
+	for _, raw := range opt.Backends {
+		url := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if url == "" {
+			return nil, fmt.Errorf("dispatch: empty backend URL in %q", strings.Join(opt.Backends, ","))
+		}
+		if seen[url] {
+			return nil, fmt.Errorf("dispatch: duplicate backend %s", url)
+		}
+		seen[url] = true
+		b := &backend{
+			url: url,
+			cli: &server.Client{BaseURL: url, HTTP: opt.HTTP, PollInterval: opt.PollInterval},
+		}
+		b.healthy.Store(true)
+		c.backends = append(c.backends, b)
+	}
+	c.met = newMetrics(c.backends)
+	c.wg.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the health prober. In-flight sweeps are unaffected.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.quit:
+	default:
+		close(c.quit)
+	}
+	c.wg.Wait()
+}
+
+// MetricsVar exposes the coordinator's metrics map (dispatch counts per
+// backend, retries, failovers, hedges, store hits/misses, resume skips),
+// e.g. for expvar.Publish in a binary. Never touches the global registry.
+func (c *Coordinator) MetricsVar() expvar.Var { return &c.met.root }
+
+// BackendStatus is one backend's health as seen by Probe.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Error is the probe failure, when unhealthy.
+	Error string `json:"error,omitempty"`
+	// Inflight is how many cells the coordinator currently has dispatched
+	// to this backend.
+	Inflight int64 `json:"inflight"`
+}
+
+// Probe checks every backend's /healthz once, updates the coordinator's
+// health view, and returns the statuses in Options.Backends order.
+func (c *Coordinator) Probe(ctx context.Context) []BackendStatus {
+	out := make([]BackendStatus, len(c.backends))
+	var wg sync.WaitGroup
+	for i, b := range c.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			err := b.probe(ctx, c.httpClient())
+			st := BackendStatus{URL: b.url, Healthy: err == nil, Inflight: b.inflight.Load()}
+			if err != nil {
+				st.Error = err.Error()
+			}
+			out[i] = st
+		}(i, b)
+	}
+	wg.Wait()
+	return out
+}
+
+func (c *Coordinator) httpClient() *http.Client {
+	if c.opt.HTTP != nil {
+		return c.opt.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), c.opt.ProbeInterval)
+			c.Probe(ctx)
+			cancel()
+		}
+	}
+}
+
+// probe hits the backend's /healthz and records the outcome.
+func (b *backend) probe(ctx context.Context, hc *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		b.healthy.Store(false)
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.healthy.Store(false)
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	b.healthy.Store(true)
+	return nil
+}
+
+// pick chooses the backend for the next dispatch attempt: the
+// least-loaded healthy backend, avoiding `avoid` (the backend a previous
+// attempt of the same cell just failed on) when any alternative exists.
+// With no healthy backend it falls back to the least-loaded of all of
+// them — a sweep should limp through a window where every probe failed
+// rather than spin, and the per-attempt timeout bounds the cost of being
+// wrong.
+func (c *Coordinator) pick(avoid string) *backend {
+	if b := c.pickFrom(avoid, true); b != nil {
+		return b
+	}
+	return c.pickFrom(avoid, false)
+}
+
+func (c *Coordinator) pickFrom(avoid string, healthyOnly bool) *backend {
+	var best *backend
+	for _, b := range c.backends {
+		if healthyOnly && !b.healthy.Load() {
+			continue
+		}
+		if b.url == avoid {
+			continue
+		}
+		if best == nil || b.inflight.Load() < best.inflight.Load() {
+			best = b
+		}
+	}
+	if best == nil && avoid != "" {
+		// avoid was the only candidate; better it than nothing.
+		for _, b := range c.backends {
+			if b.url == avoid && (!healthyOnly || b.healthy.Load()) {
+				return b
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,57 @@
+package dispatch
+
+import (
+	"expvar"
+)
+
+// metrics aggregates the coordinator's counters in a private expvar.Map —
+// like the server's, deliberately not published to the process-global
+// registry so multiple coordinators (tests!) never collide; binaries
+// publish MetricsVar once.
+type metrics struct {
+	root expvar.Map
+
+	cellsTotal  expvar.Int // cells accepted across all sweeps
+	dedupShares expvar.Int // cells folded into another cell's dispatch
+	retries     expvar.Int // re-dispatches after a retryable failure
+	failovers   expvar.Int // retries that moved to a different backend
+	hedges      expvar.Int // straggler re-dispatches launched
+
+	storeHits      expvar.Int // groups served from the durable store
+	storeMisses    expvar.Int // resume lookups that fell through
+	storePutErrors expvar.Int // failed checkpoint writes (sweep kept going)
+	resumeSkips    expvar.Int // cells not dispatched thanks to the store
+
+	backends expvar.Map // per-backend: dispatched, failures, healthy, inflight
+}
+
+func newMetrics(backends []*backend) *metrics {
+	m := &metrics{}
+	m.root.Init()
+	m.backends.Init()
+	for name, v := range map[string]expvar.Var{
+		"cells_total":      &m.cellsTotal,
+		"dedup_shares":     &m.dedupShares,
+		"retries":          &m.retries,
+		"failovers":        &m.failovers,
+		"hedges":           &m.hedges,
+		"store_hits":       &m.storeHits,
+		"store_misses":     &m.storeMisses,
+		"store_put_errors": &m.storePutErrors,
+		"resume_skips":     &m.resumeSkips,
+		"backends":         &m.backends,
+	} {
+		m.root.Set(name, v)
+	}
+	for _, b := range backends {
+		b := b
+		per := &expvar.Map{}
+		per.Init()
+		per.Set("dispatched", &b.dispatched)
+		per.Set("failures", &b.failures)
+		per.Set("healthy", expvar.Func(func() any { return b.healthy.Load() }))
+		per.Set("inflight", expvar.Func(func() any { return b.inflight.Load() }))
+		m.backends.Set(b.url, per)
+	}
+	return m
+}

@@ -1,0 +1,332 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"visasim/internal/core"
+	"visasim/internal/harness"
+	"visasim/internal/server"
+)
+
+// group is one unit of dispatch: all cells of a sweep that share a content
+// hash. Only keys[0] is sent to a backend; the others share its result —
+// the coordinator-side analogue of the daemon's single-flight cache.
+type group struct {
+	hash  string
+	cfg   core.Config // canonical
+	keys  []string
+	res   *core.Result
+	stats harness.CellStats
+}
+
+// Run dispatches the cells across the cluster and returns keyed results
+// with harness.Run's semantics: the first failing cell aborts the sweep
+// (in-flight cells finish, queued ones are skipped) and is returned as a
+// *harness.CellError naming the cell.
+func (c *Coordinator) Run(cells []harness.Cell, opt harness.Options) (harness.Results, error) {
+	res, _, err := c.RunStats(cells, opt)
+	return res, err
+}
+
+// RunStats is Run plus the per-cell cost records the winning backend
+// measured. The opt.Workers bound is ignored — concurrency is
+// Options.Workers across the whole cluster.
+func (c *Coordinator) RunStats(cells []harness.Cell, _ harness.Options) (harness.Results, harness.Stats, error) {
+	if len(cells) == 0 {
+		return harness.Results{}, harness.Stats{}, nil
+	}
+	if err := harness.ValidateKeys(cells); err != nil {
+		return nil, nil, err
+	}
+
+	// Content-address every cell up front and fold duplicates into one
+	// dispatch group each.
+	var groups []*group
+	byHash := make(map[string]*group, len(cells))
+	for _, cell := range cells {
+		canon, err := cell.Cfg.Canonical()
+		if err != nil {
+			return nil, nil, &harness.CellError{Key: cell.Key, Err: err}
+		}
+		hash, err := canon.Hash()
+		if err != nil {
+			return nil, nil, &harness.CellError{Key: cell.Key, Err: err}
+		}
+		g := byHash[hash]
+		if g == nil {
+			g = &group{hash: hash, cfg: canon}
+			byHash[hash] = g
+			groups = append(groups, g)
+		}
+		g.keys = append(g.keys, cell.Key)
+	}
+	c.met.cellsTotal.Add(int64(len(cells)))
+	if shared := len(cells) - len(groups); shared > 0 {
+		c.met.dedupShares.Add(int64(shared))
+	}
+
+	// Resume: anything already checkpointed in the store is complete —
+	// its address fully determines its result — so serve it from disk and
+	// dispatch only the missing hashes.
+	pending := groups[:0:0]
+	for _, g := range groups {
+		if c.opt.Resume && c.opt.Store != nil {
+			if res, st, ok := c.opt.Store.Get(g.hash); ok {
+				g.res, g.stats = res, st
+				c.met.storeHits.Add(1)
+				c.met.resumeSkips.Add(int64(len(g.keys)))
+				continue
+			}
+			c.met.storeMisses.Add(1)
+		}
+		pending = append(pending, g)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	workers := c.opt.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	jobs := make(chan *group)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range jobs {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue
+				}
+				res, st, err := c.dispatchGroup(ctx, g)
+				if err == nil && c.opt.Store != nil {
+					// Checkpoint as cells complete: a killed coordinator
+					// resumes from exactly this set. Best-effort — a full
+					// disk costs durability, not the sweep.
+					if perr := c.opt.Store.Put(g.hash, res, st); perr != nil {
+						c.met.storePutErrors.Add(1)
+					}
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = keyedError(g.keys[0], err)
+						cancel()
+					}
+				} else {
+					g.res, g.stats = res, st
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, g := range pending {
+		jobs <- g
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	results := make(harness.Results, len(cells))
+	stats := make(harness.Stats, len(cells))
+	for _, g := range groups {
+		for _, k := range g.keys {
+			results[k] = g.res
+			stats[k] = g.stats
+		}
+	}
+	return results, stats, nil
+}
+
+// keyedError guarantees the sweep's abort error is a *harness.CellError
+// naming the failing cell, whatever layer produced the cause.
+func keyedError(key string, err error) error {
+	var ce *harness.CellError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	return &harness.CellError{Key: key, Err: err}
+}
+
+// permanent reports whether retrying err elsewhere is pointless: the
+// backend executed the cell and the simulation itself failed (determinism
+// means every backend fails it identically), or the request was rejected
+// as malformed. Transport errors, timeouts, 5xx and shutdown races are all
+// retryable.
+func permanent(err error) bool {
+	var ce *harness.CellError
+	if errors.As(err, &ce) {
+		return true
+	}
+	var he *server.HTTPError
+	if errors.As(err, &he) {
+		return !he.Temporary()
+	}
+	return false
+}
+
+// dispatchGroup runs one group to completion: up to MaxAttempts dispatch
+// attempts, exponential backoff with jitter between them, each attempt on
+// the least-loaded backend — preferring one the group has not just failed
+// on (failover).
+func (c *Coordinator) dispatchGroup(ctx context.Context, g *group) (*core.Result, harness.CellStats, error) {
+	var lastErr error
+	avoid := ""
+	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.met.retries.Add(1)
+			select {
+			case <-time.After(c.backoff(attempt)):
+			case <-ctx.Done():
+				return nil, harness.CellStats{}, ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, harness.CellStats{}, err
+		}
+		b := c.pick(avoid)
+		if b == nil {
+			lastErr = errors.New("dispatch: no backend available")
+			continue
+		}
+		if avoid != "" && b.url != avoid {
+			c.met.failovers.Add(1)
+		}
+		res, st, err := c.attempt(ctx, b, g)
+		if err == nil {
+			return res, st, nil
+		}
+		if permanent(err) || ctx.Err() != nil {
+			return nil, harness.CellStats{}, err
+		}
+		avoid = b.url
+		lastErr = err
+	}
+	return nil, harness.CellStats{}, fmt.Errorf(
+		"dispatch: cell %s failed after %d attempts: %w", g.keys[0], c.opt.MaxAttempts, lastErr)
+}
+
+// backoff returns the pre-attempt delay: BaseBackoff doubled per retry,
+// capped at MaxBackoff, jittered uniformly over [0.5, 1.5)× so the
+// retries of many concurrently failing cells decorrelate instead of
+// stampeding the next backend together.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.opt.BaseBackoff << (attempt - 1)
+	if d > c.opt.MaxBackoff || d <= 0 { // <=0: shift overflow
+		d = c.opt.MaxBackoff
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64())) //nolint:gosec // jitter, not crypto
+}
+
+// attempt dispatches g to backend b once, optionally hedging: when the
+// attempt has not resolved within HedgeAfter, the cell is re-dispatched to
+// a second backend and the first result wins (the loser's HTTP work is
+// canceled). The whole attempt — both legs — is bounded by CellTimeout.
+func (c *Coordinator) attempt(ctx context.Context, b *backend, g *group) (*core.Result, harness.CellStats, error) {
+	actx, cancel := context.WithTimeout(ctx, c.opt.CellTimeout)
+	defer cancel()
+
+	type outcome struct {
+		res   *core.Result
+		stats harness.CellStats
+		err   error
+	}
+	ch := make(chan outcome, 2) // buffered: the losing leg must not leak
+	launch := func(b *backend) {
+		res, st, err := c.runOn(actx, b, g)
+		ch <- outcome{res, st, err}
+	}
+	go launch(b)
+	outstanding := 1
+
+	var hedge <-chan time.Time
+	if c.opt.HedgeAfter > 0 && len(c.backends) > 1 {
+		t := time.NewTimer(c.opt.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+	for {
+		select {
+		case out := <-ch:
+			outstanding--
+			if out.err == nil {
+				return out.res, out.stats, nil
+			}
+			if permanent(out.err) || outstanding == 0 {
+				return nil, harness.CellStats{}, out.err
+			}
+			// A leg failed retryably but the other is still running; let
+			// it decide the attempt.
+		case <-hedge:
+			hedge = nil
+			if hb := c.pick(b.url); hb != nil && hb != b {
+				c.met.hedges.Add(1)
+				outstanding++
+				go launch(hb)
+			}
+		}
+	}
+}
+
+// runOn executes g's representative cell on backend b as a single-cell
+// job and decodes the one result.
+func (c *Coordinator) runOn(ctx context.Context, b *backend, g *group) (*core.Result, harness.CellStats, error) {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	b.dispatched.Add(1)
+
+	fail := func(err error) (*core.Result, harness.CellStats, error) {
+		if !errors.Is(err, context.Canceled) { // losing a hedge is not the backend's fault
+			b.failures.Add(1)
+			if !permanent(err) {
+				// Don't wait for the next probe to stop routing here.
+				b.healthy.Store(false)
+			}
+		}
+		return nil, harness.CellStats{}, err
+	}
+
+	ack, err := b.cli.Submit(ctx, []harness.Cell{{Key: g.keys[0], Cfg: g.cfg}})
+	if err != nil {
+		return fail(err)
+	}
+	st, err := b.cli.Wait(ctx, ack.ID)
+	if err != nil {
+		return fail(err)
+	}
+	switch st.State {
+	case server.StateDone, server.StateFailed:
+	default: // canceled: the backend shut down under the job
+		return fail(fmt.Errorf("dispatch: backend %s canceled job %s: %s", b.url, ack.ID, st.Error))
+	}
+	if len(st.Cells) != 1 {
+		return fail(fmt.Errorf("dispatch: backend %s returned %d cells for a 1-cell job", b.url, len(st.Cells)))
+	}
+	cell := st.Cells[0]
+	if cell.Error != "" {
+		// The simulation itself failed — permanent, and keyed like a
+		// local harness failure so callers' errors.As handling works
+		// unchanged through the cluster.
+		return nil, harness.CellStats{}, &harness.CellError{Key: cell.Key, Err: errors.New(cell.Error)}
+	}
+	var res core.Result
+	if err := json.Unmarshal(cell.Result, &res); err != nil {
+		return fail(fmt.Errorf("dispatch: decoding result from %s: %w", b.url, err))
+	}
+	return &res, cell.Stats, nil
+}

@@ -70,6 +70,21 @@ func (e *CellError) Error() string { return fmt.Sprintf("cell %s: %v", e.Key, e.
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (e *CellError) Unwrap() error { return e.Err }
 
+// ValidateKeys rejects batches with duplicate cell keys. Every runner that
+// accepts a []Cell — RunStats here, the simulation service's submit path,
+// the dispatch coordinator — applies the same rule, so a batch that one
+// accepts is never rejected by another over its keys.
+func ValidateKeys(cells []Cell) error {
+	seen := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if seen[c.Key] {
+			return fmt.Errorf("harness: duplicate cell key %q", c.Key)
+		}
+		seen[c.Key] = true
+	}
+	return nil
+}
+
 // Run executes every cell and returns the keyed results. The first error
 // aborts the batch (outstanding cells finish; queued ones are skipped) and
 // is returned as a *CellError naming the cell that failed.
@@ -88,12 +103,8 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
-	seen := map[string]bool{}
-	for _, c := range cells {
-		if seen[c.Key] {
-			return nil, nil, fmt.Errorf("harness: duplicate cell key %q", c.Key)
-		}
-		seen[c.Key] = true
+	if err := ValidateKeys(cells); err != nil {
+		return nil, nil, err
 	}
 
 	if opt.CPUProfile != "" {

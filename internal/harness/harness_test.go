@@ -42,6 +42,12 @@ func TestDuplicateKeysRejected(t *testing.T) {
 	if _, err := Run([]Cell{cell("x", "gcc"), cell("x", "mcf")}, Options{}); err == nil {
 		t.Fatal("duplicate keys accepted")
 	}
+	if err := ValidateKeys([]Cell{cell("x", "gcc"), cell("x", "mcf")}); err == nil {
+		t.Fatal("ValidateKeys accepted duplicate keys")
+	}
+	if err := ValidateKeys([]Cell{cell("x", "gcc"), cell("y", "gcc")}); err != nil {
+		t.Fatalf("ValidateKeys rejected distinct keys: %v", err)
+	}
 }
 
 func TestErrorPropagates(t *testing.T) {

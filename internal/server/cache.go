@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"sync"
 
 	"visasim/internal/core"
@@ -11,10 +12,17 @@ import (
 // are written exactly once, before done is closed; readers wait on done, so
 // the channel close is the publication barrier.
 type cacheEntry struct {
+	hash  string
 	done  chan struct{}
 	res   *core.Result
 	stats harness.CellStats
 	err   error
+
+	// elem is the entry's LRU position, set under resultCache.mu when the
+	// entry resolves successfully; nil while in flight (in-flight entries
+	// are never evicted — their single-flight followers hold the pointer
+	// and the leader must be able to publish to them).
+	elem *list.Element
 }
 
 // resolved reports whether the entry has been filled (without blocking).
@@ -27,22 +35,34 @@ func (e *cacheEntry) resolved() bool {
 	}
 }
 
-// resultCache is the content-addressed result store with single-flight
-// semantics: the first claimant of a hash becomes the leader and runs the
-// simulation; everyone else waits on the same entry. Determinism makes this
-// sound — a config hash fully determines the Result, so sharing one run is
-// indistinguishable from running again (see DESIGN.md §7).
+// resultCache is the in-memory content-addressed result tier with
+// single-flight semantics: the first claimant of a hash becomes the leader
+// and runs the simulation; everyone else waits on the same entry.
+// Determinism makes this sound — a config hash fully determines the
+// Result, so sharing one run is indistinguishable from running again (see
+// DESIGN.md §7).
 //
-// Successful results are kept forever (the working sets are experiment
-// sweeps, bounded by the config space callers explore); failed entries are
-// evicted so a transient failure does not poison the address.
+// Resolved entries are bounded by an LRU cap (maxResolved): beyond it the
+// least-recently-claimed resolved entries are dropped, so a long-running
+// daemon's memory is bounded regardless of how large a config space its
+// clients explore. With a persistent store configured (DESIGN.md §8) an
+// evicted address is re-served from disk; without one it re-simulates.
+// Failed entries are always evicted so a transient failure does not poison
+// the address.
 type resultCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
+	mu        sync.Mutex
+	max       int // resolved-entry cap; <= 0 means unbounded
+	entries   map[string]*cacheEntry
+	lru       *list.List // of *cacheEntry, front = most recently used
+	evictions int64
 }
 
-func newResultCache() *resultCache {
-	return &resultCache{entries: map[string]*cacheEntry{}}
+func newResultCache(maxResolved int) *resultCache {
+	return &resultCache{
+		max:     maxResolved,
+		entries: map[string]*cacheEntry{},
+		lru:     list.New(),
+	}
 }
 
 // claim returns the entry for hash and whether the caller is its leader.
@@ -51,18 +71,34 @@ func (c *resultCache) claim(hash string) (e *cacheEntry, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[hash]; ok {
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 		return e, false
 	}
-	e = &cacheEntry{done: make(chan struct{})}
+	e = &cacheEntry{hash: hash, done: make(chan struct{})}
 	c.entries[hash] = e
 	return e, true
 }
 
 // fill publishes a successful result to the entry's waiters and future
-// claimants.
+// claimants, and enforces the resolved-entry cap.
 func (c *resultCache) fill(e *cacheEntry, res *core.Result, stats harness.CellStats) {
 	e.res = res
 	e.stats = stats
+	c.mu.Lock()
+	// The entry may have been failed-and-reclaimed only for errors, never
+	// for fills, so e is still the map's entry for its hash here.
+	e.elem = c.lru.PushFront(e)
+	for c.max > 0 && c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		victim := oldest.Value.(*cacheEntry)
+		c.lru.Remove(oldest)
+		delete(c.entries, victim.hash)
+		victim.elem = nil
+		c.evictions++
+	}
+	c.mu.Unlock()
 	close(e.done)
 }
 
@@ -81,4 +117,19 @@ func (c *resultCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// resolvedLen returns how many resolved entries are resident (the number
+// the LRU cap bounds).
+func (c *resultCache) resolvedLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// evicted returns how many resolved entries the cap has dropped.
+func (c *resultCache) evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }

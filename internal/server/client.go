@@ -46,14 +46,39 @@ func (c *Client) poll() time.Duration {
 	return 50 * time.Millisecond
 }
 
-// decodeError surfaces the server's JSON error body.
+// HTTPError is a non-2xx daemon response. Carrying the status code lets
+// callers key policy on it — the dispatch coordinator treats 4xx (the
+// request itself was rejected) as permanent and everything else (5xx,
+// overload, shutdown races) as retryable on another backend.
+type HTTPError struct {
+	// StatusCode is the HTTP status the daemon answered with.
+	StatusCode int
+	// Msg is the daemon's error body (or raw bytes when not JSON).
+	Msg string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.StatusCode)
+}
+
+// Temporary reports whether retrying the identical request could succeed:
+// false for 4xx (except 429, the canonical back-off-and-retry status),
+// true for everything else.
+func (e *HTTPError) Temporary() bool {
+	if e.StatusCode == http.StatusTooManyRequests {
+		return true
+	}
+	return e.StatusCode < 400 || e.StatusCode >= 500
+}
+
+// decodeError surfaces the server's JSON error body as an *HTTPError.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var er errorResponse
 	if json.Unmarshal(body, &er) == nil && er.Error != "" {
-		return fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
+		return &HTTPError{StatusCode: resp.StatusCode, Msg: er.Error}
 	}
-	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	return &HTTPError{StatusCode: resp.StatusCode, Msg: string(bytes.TrimSpace(body))}
 }
 
 // Submit posts one sweep and returns the job acknowledgement. The request

@@ -38,16 +38,22 @@ type metrics struct {
 	jobsCanceled  expvar.Int // rejected at shutdown while queued
 	jobsRejected  expvar.Int // refused at submit (queue full / shutdown)
 
-	cellsTotal   expvar.Int // resolved cells, hits + misses
-	cacheHits    expvar.Int // resolved without a fresh simulation
-	simsRun      expvar.Int // fresh simulations executed
-	hitRatio     expvar.Float
-	cacheSize    expvar.Int
-	simCycles    expvar.Int   // simulated cycles across all fresh runs
-	simInstrs    expvar.Int   // committed instructions across all fresh runs
-	simSeconds   expvar.Float // summed core.Run wall-clock (overlaps under parallelism)
-	cellsPerSec  expvar.Float // fresh cells per summed simulation second
-	cyclesPerSec expvar.Float
+	cellsTotal     expvar.Int // resolved cells, hits + misses
+	cacheHits      expvar.Int // resolved without a fresh simulation
+	simsRun        expvar.Int // fresh simulations executed
+	hitRatio       expvar.Float
+	cacheSize      expvar.Int
+	cacheEvictions expvar.Int   // resolved entries dropped by the LRU cap
+	storeHits      expvar.Int   // cells served from the persistent store
+	storeMisses    expvar.Int   // store lookups that fell through to a run
+	storePutErrors expvar.Int   // failed write-throughs (daemon kept going)
+	storeEntries   expvar.Int   // gauge: entries resident on disk
+	storeBytes     expvar.Int   // gauge: bytes resident on disk
+	simCycles      expvar.Int   // simulated cycles across all fresh runs
+	simInstrs      expvar.Int   // committed instructions across all fresh runs
+	simSeconds     expvar.Float // summed core.Run wall-clock (overlaps under parallelism)
+	cellsPerSec    expvar.Float // fresh cells per summed simulation second
+	cyclesPerSec   expvar.Float
 
 	statsMu    sync.Mutex
 	cellStats  expvar.Map // per-cell CellStats, keyed by hash prefix
@@ -71,6 +77,12 @@ func newMetrics() *metrics {
 		"sims_run":         &m.simsRun,
 		"cache_hit_ratio":  &m.hitRatio,
 		"cache_size":       &m.cacheSize,
+		"cache_evictions":  &m.cacheEvictions,
+		"store_hits":       &m.storeHits,
+		"store_misses":     &m.storeMisses,
+		"store_put_errors": &m.storePutErrors,
+		"store_entries":    &m.storeEntries,
+		"store_bytes":      &m.storeBytes,
 		"sim_cycles":       &m.simCycles,
 		"sim_instructions": &m.simInstrs,
 		"sim_seconds":      &m.simSeconds,

@@ -29,6 +29,7 @@ import (
 
 	"visasim/internal/core"
 	"visasim/internal/harness"
+	"visasim/internal/store"
 	"visasim/internal/workload"
 )
 
@@ -48,6 +49,16 @@ type Options struct {
 	// through the content-addressed cache, so a long-running daemon does
 	// not grow with every submission.
 	JobHistory int
+	// CacheEntries bounds resolved results resident in memory (4096 when
+	// 0; negative means unbounded). Past it the least-recently-used
+	// entries are evicted — re-served from Store when one is configured,
+	// re-simulated otherwise.
+	CacheEntries int
+	// Store, when non-nil, is the durable result tier: every fresh
+	// simulation is written through to it, and a cache miss consults it
+	// before simulating, so a restarted daemon serves previously computed
+	// cells from disk (see DESIGN.md §8).
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +73,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JobHistory <= 0 {
 		o.JobHistory = 256
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
 	}
 	return o
 }
@@ -101,6 +115,7 @@ func (j *job) bump() {
 type Server struct {
 	opt   Options
 	cache *resultCache
+	store *store.Store // durable tier; nil when not configured
 	met   *metrics
 
 	mu     sync.Mutex
@@ -120,7 +135,8 @@ func New(opt Options) *Server {
 	opt = opt.withDefaults()
 	s := &Server{
 		opt:   opt,
-		cache: newResultCache(),
+		cache: newResultCache(opt.CacheEntries),
+		store: opt.Store,
 		met:   newMetrics(),
 		jobs:  map[string]*job{},
 		queue: make(chan *job, opt.QueueDepth),
@@ -246,6 +262,19 @@ func (s *Server) runJob(j *job) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The durable tier first: a previous process — or an evicted
+			// in-memory entry — may already hold this address on disk, in
+			// which case the cell is a hit without simulating.
+			if s.store != nil {
+				if res, st, ok := s.store.Get(c.hash); ok {
+					s.met.storeHits.Add(1)
+					s.cache.fill(e, res, st)
+					s.syncCacheGauges()
+					s.finishCell(j, c, e, true)
+					return
+				}
+				s.met.storeMisses.Add(1)
+			}
 			s.sem <- struct{}{}
 			res, stats, err := harness.RunStats(
 				[]harness.Cell{{Key: c.hash, Cfg: c.cfg}},
@@ -257,8 +286,15 @@ func (s *Server) runJob(j *job) {
 				st := stats[c.hash]
 				s.met.recordSim(c.hash, st)
 				s.cache.fill(e, res[c.hash], st)
+				if s.store != nil {
+					// Best-effort write-through: a full disk degrades the
+					// daemon to memory-only instead of failing the cell.
+					if perr := s.store.Put(c.hash, res[c.hash], st); perr != nil {
+						s.met.storePutErrors.Add(1)
+					}
+				}
 			}
-			s.met.cacheSize.Set(int64(s.cache.size()))
+			s.syncCacheGauges()
 			s.finishCell(j, c, e, false)
 		}()
 	}
@@ -285,6 +321,17 @@ func (s *Server) runJob(j *job) {
 		s.met.jobsFailed.Add(1)
 	} else {
 		s.met.jobsDone.Add(1)
+	}
+}
+
+// syncCacheGauges refreshes the cache/store occupancy gauges after a cell
+// resolves.
+func (s *Server) syncCacheGauges() {
+	s.met.cacheSize.Set(int64(s.cache.size()))
+	s.met.cacheEvictions.Set(s.cache.evicted())
+	if s.store != nil {
+		s.met.storeEntries.Set(int64(s.store.Len()))
+		s.met.storeBytes.Set(s.store.Bytes())
 	}
 }
 

@@ -33,14 +33,23 @@ func testCfg(bench string, scheme core.Scheme) core.Config {
 func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(opt)
-	ts := httptest.NewServer(s.Handler())
+	ts := newHTTPServer(t, s)
 	t.Cleanup(func() {
-		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 		defer cancel()
 		s.Shutdown(ctx) //nolint:errcheck
 	})
 	return s, ts
+}
+
+// newHTTPServer mounts an existing Server on an httptest listener without
+// tying the Server's lifetime to the test (the warm-restart test shuts the
+// first Server down itself, mid-test).
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
 }
 
 func submit(t *testing.T, ts *httptest.Server, req SubmitRequest) SubmitResponse {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race cluster-test bench bench-throughput golden experiments examples serve fmt vet clean
+.PHONY: all build test test-short test-race cluster-test obs-smoke bench bench-throughput golden experiments examples serve fmt vet staticcheck clean
 
 all: build test
 
@@ -28,6 +28,13 @@ test-race:
 # local harness run plus checkpointed resume (see internal/dispatch).
 cluster-test:
 	$(GO) test -v -run 'TestClusterParity|TestResumeSkipsCompletedCells' ./internal/dispatch/
+
+# Observability smoke test: boots a real visasimd, runs one cell with a
+# known sweep correlation ID, then asserts /metrics/prom serves valid
+# Prometheus text (histograms included) and the daemon's structured logs
+# carry the sweep ID (see DESIGN.md §9).
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -64,6 +71,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Needs staticcheck on PATH (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@2024.1.1).
+staticcheck:
+	staticcheck ./...
 
 clean:
 	$(GO) clean ./...

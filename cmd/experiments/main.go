@@ -22,20 +22,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"visasim/internal/core"
 	"visasim/internal/dispatch"
 	"visasim/internal/experiments"
 	"visasim/internal/harness"
+	"visasim/internal/obs"
 	"visasim/internal/pipeline"
 	"visasim/internal/server"
 	"visasim/internal/store"
@@ -55,8 +59,21 @@ func main() {
 		storeDir      = flag.String("store", "", "with -backends: checkpoint completed cells to this directory")
 		resume        = flag.Bool("resume", false, "with -backends and -store: skip cells already checkpointed")
 		hedgeAfter    = flag.Duration("hedge", 0, "with -backends: re-dispatch straggler cells after this delay (0 disables)")
+		logLevel      = flag.String("log-level", "warn", "minimum log level for -server/-backends sweeps: debug, info, warn, error")
+		logFormat     = flag.String("log-format", "text", "log line format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	// Ctrl-C aborts a remote sweep mid-flight (queued cells are skipped,
+	// in-flight dispatches canceled) instead of letting it poll on; local
+	// in-process sweeps are unaffected.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	p := experiments.Params{Budget: *budget, Workers: *workers}
 	switch {
@@ -78,16 +95,22 @@ func main() {
 			HedgeAfter: *hedgeAfter,
 			Store:      st,
 			Resume:     *resume,
+			Logger:     logger,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 		defer coord.Close()
-		p.Runner = coord.Run
+		p.Runner = func(cells []harness.Cell, opt harness.Options) (harness.Results, error) {
+			return coord.RunContext(ctx, cells, opt)
+		}
 	case *serverURL != "":
-		cli := &server.Client{BaseURL: strings.TrimRight(*serverURL, "/"), Timeout: *serverTimeout}
-		p.Runner = cli.Run
+		cli := &server.Client{BaseURL: strings.TrimRight(*serverURL, "/"),
+			Timeout: *serverTimeout, Logger: logger}
+		p.Runner = func(cells []harness.Cell, opt harness.Options) (harness.Results, error) {
+			return cli.RunContext(ctx, cells, opt)
+		}
 	}
 	targets := flag.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {

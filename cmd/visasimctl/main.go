@@ -7,9 +7,10 @@
 // Usage:
 //
 //	visasimctl health  -backends URL,URL,...
-//	visasimctl metrics -backends URL,URL,...
+//	visasimctl metrics -backends URL,URL,... [-prom]
 //	visasimctl sweep   -backends URL,URL,... [-cells FILE] [-store DIR]
 //	                   [-resume] [-hedge 2s] [-workers N] [-timeout 10m]
+//	                   [-log-level info] [-log-format text] [-seed N]
 //
 // The sweep subcommand reads cells from FILE (or stdin when "-", the
 // default) in the same JSON shape POST /v1/sweeps accepts:
@@ -32,11 +33,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"visasim/internal/dispatch"
 	"visasim/internal/harness"
+	"visasim/internal/obs"
 	"visasim/internal/server"
 	"visasim/internal/store"
 )
@@ -71,9 +75,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   visasimctl health  -backends URL,URL,...
-  visasimctl metrics -backends URL,URL,...
+  visasimctl metrics -backends URL,URL,... [-prom]
   visasimctl sweep   -backends URL,URL,... [-cells FILE] [-store DIR] [-resume]
-                     [-hedge D] [-workers N] [-timeout D]`)
+                     [-hedge D] [-workers N] [-timeout D]
+                     [-log-level L] [-log-format F] [-seed N]`)
 }
 
 // backendList splits and validates the -backends flag value.
@@ -120,21 +125,43 @@ func cmdHealth(args []string) error {
 }
 
 // cmdMetrics fetches every backend's /metrics and prints them as one JSON
-// object keyed by backend URL.
+// object keyed by backend URL; with -prom it fetches /metrics/prom instead
+// and prints the Prometheus text blocks separated by a "# == URL ==" banner.
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	backendsCSV := fs.String("backends", "", "comma-separated visasimd base URLs")
 	timeout := fs.Duration("timeout", 10*time.Second, "fetch deadline per backend")
+	prom := fs.Bool("prom", false, "fetch /metrics/prom (Prometheus text) instead of expvar JSON")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	urls, err := backendList(*backendsCSV)
 	if err != nil {
 		return err
 	}
+	if *prom {
+		var firstErr error
+		for _, raw := range urls {
+			url := strings.TrimRight(strings.TrimSpace(raw), "/")
+			fmt.Printf("# == %s ==\n", url)
+			blob, err := fetchBody(url+"/metrics/prom", *timeout)
+			if err != nil {
+				fmt.Printf("# error: %v\n", err)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", url, err)
+				}
+				continue
+			}
+			os.Stdout.Write(blob) //nolint:errcheck
+		}
+		return firstErr
+	}
 	out := make(map[string]json.RawMessage, len(urls))
 	for _, raw := range urls {
 		url := strings.TrimRight(strings.TrimSpace(raw), "/")
-		blob, err := fetchMetrics(url, *timeout)
+		blob, err := fetchBody(url+"/metrics", *timeout)
+		if err == nil && !json.Valid(blob) {
+			err = fmt.Errorf("non-JSON metrics body (%d bytes)", len(blob))
+		}
 		if err != nil {
 			out[url] = mustJSON(map[string]string{"error": err.Error()})
 			continue
@@ -146,10 +173,10 @@ func cmdMetrics(args []string) error {
 	return enc.Encode(out)
 }
 
-func fetchMetrics(url string, timeout time.Duration) (json.RawMessage, error) {
+func fetchBody(url string, timeout time.Duration) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -161,14 +188,7 @@ func fetchMetrics(url string, timeout time.Duration) (json.RawMessage, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
 	}
-	blob, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	if err != nil {
-		return nil, err
-	}
-	if !json.Valid(blob) {
-		return nil, fmt.Errorf("non-JSON metrics body (%d bytes)", len(blob))
-	}
-	return blob, nil
+	return io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 }
 
 func mustJSON(v any) json.RawMessage {
@@ -190,10 +210,17 @@ func cmdSweep(args []string) error {
 	hedge := fs.Duration("hedge", 0, "re-dispatch straggler cells after this delay (0 disables)")
 	workers := fs.Int("workers", 0, "concurrently in-flight cells (0 = 4 per backend)")
 	cellTimeout := fs.Duration("timeout", 10*time.Minute, "per-cell dispatch attempt deadline")
-	verbose := fs.Bool("v", false, "print coordinator metrics to stderr after the sweep")
+	verbose := fs.Bool("v", false, "print coordinator metrics (Prometheus text) to stderr after the sweep")
+	logLevel := fs.String("log-level", "warn", "minimum log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log line format: text or json")
+	seed := fs.Int64("seed", 0, "backoff-jitter RNG seed (0 = from the clock)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
 	urls, err := backendList(*backendsCSV)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		return err
 	}
@@ -217,17 +244,26 @@ func cmdSweep(args []string) error {
 		CellTimeout: *cellTimeout,
 		Store:       st,
 		Resume:      *resume,
+		Seed:        *seed,
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
 
+	// SIGINT/SIGTERM cancel the sweep: queued groups are skipped and every
+	// in-flight dispatch attempt is aborted, instead of the old behaviour
+	// of polling the cluster to completion after the operator gave up.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	results, stats, err := coord.RunStats(cells, harness.Options{})
+	results, stats, err := coord.RunStatsContext(ctx, cells, harness.Options{})
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "visasimctl: %d cells in %v\n%s\n",
-			len(cells), time.Since(start).Round(time.Millisecond), coord.MetricsVar())
+		fmt.Fprintf(os.Stderr, "visasimctl: %d cells in %v\n",
+			len(cells), time.Since(start).Round(time.Millisecond))
+		coord.WritePrometheus(os.Stderr)
 	}
 	if err != nil {
 		return err

@@ -13,6 +13,13 @@
 //	GET  /v1/jobs/{id}/stream NDJSON per-cell results as they resolve
 //	GET  /healthz             liveness
 //	GET  /metrics             expvar metrics (queue, cache hit ratio, cells/sec)
+//	GET  /metrics/prom        the same metrics in Prometheus text format,
+//	                          plus queue-wait/simulate/cache-serve histograms
+//
+// Logging is structured (-log-format text|json, -log-level debug|info|...);
+// every line about a job carries the submission's sweep correlation ID
+// (the X-Visasim-Sweep header, minted server-side when absent), so client,
+// coordinator and daemon logs of one sweep grep together.
 //
 // Quickstart:
 //
@@ -39,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"visasim/internal/obs"
 	"visasim/internal/server"
 	"visasim/internal/store"
 )
@@ -54,19 +62,27 @@ func main() {
 		storeDir   = flag.String("store", "", "persist results to this directory; warm restarts serve from disk")
 		storeMax   = flag.Int64("store-max-bytes", 0, "evict oldest store entries beyond this size (0 = unbounded)")
 		cacheMax   = flag.Int("cache-entries", 0, "resolved results kept in memory, LRU-evicted beyond it (0 = default 4096, negative = unbounded)")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log line format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "visasimd: %v\n", err)
+		os.Exit(2)
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
 		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "visasimd: opening store: %v\n", err)
+			logger.Error("opening store failed", "dir", *storeDir, "err", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "visasimd: store %s (%d entries, %d bytes)\n",
-			st.Dir(), st.Len(), st.Bytes())
+		logger.Info("store opened", "dir", st.Dir(),
+			"entries", st.Len(), "bytes", st.Bytes())
 	}
 
 	srv := server.New(server.Options{
@@ -76,6 +92,7 @@ func main() {
 		JobHistory:   *jobHistory,
 		CacheEntries: *cacheMax,
 		Store:        st,
+		Logger:       logger,
 	})
 	// One daemon per process, so publishing to the global expvar registry
 	// is safe here (the server library itself never does), and the metrics
@@ -92,24 +109,24 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "visasimd: listening on %s (job workers %d, queue %d)\n",
-		*addr, *jobWorkers, *queueDepth)
+	logger.Info("listening", "addr", *addr,
+		"job_workers", *jobWorkers, "queue_depth", *queueDepth)
 
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "visasimd: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "visasimd: shutting down (in-flight jobs finish, queued jobs cancel)")
+	logger.Info("shutting down", "drain", *drainWait)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
-		fmt.Fprintf(os.Stderr, "visasimd: http shutdown: %v\n", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "visasimd: drain: %v\n", err)
+		logger.Error("drain failed", "err", err)
 		os.Exit(1)
 	}
 }

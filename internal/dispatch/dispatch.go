@@ -24,12 +24,15 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"visasim/internal/obs"
 	"visasim/internal/server"
 	"visasim/internal/store"
 )
@@ -77,6 +80,16 @@ type Options struct {
 	// cross-sweep dedup path. Sound because the address fully determines
 	// the result (DESIGN.md §8).
 	Resume bool
+	// Seed seeds the coordinator's backoff-jitter RNG; 0 seeds from the
+	// clock. A fixed seed makes retry timing reproducible in tests without
+	// touching the process-global math/rand state.
+	Seed int64
+	// Logger receives the coordinator's structured log lines — every
+	// retry, failover and hedge decision, tagged with the sweep
+	// correlation ID so one grep follows a sweep through client,
+	// coordinator and daemon. It is also handed to the per-backend
+	// clients. Nil discards.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +133,13 @@ type Coordinator struct {
 	opt      Options
 	backends []*backend
 	met      *metrics
+	log      *slog.Logger
+
+	// rng jitters retry backoff. Per-instance and mutex-guarded rather
+	// than the global math/rand: seedable for reproducible tests, and no
+	// cross-talk with anything else in the process drawing randomness.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -133,7 +153,16 @@ func New(opt Options) (*Coordinator, error) {
 		return nil, errors.New("dispatch: no backends")
 	}
 	opt = opt.withDefaults()
-	c := &Coordinator{opt: opt, quit: make(chan struct{})}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Coordinator{
+		opt:  opt,
+		log:  obs.Logger(opt.Logger),
+		rng:  rand.New(rand.NewSource(seed)), //nolint:gosec // jitter, not crypto
+		quit: make(chan struct{}),
+	}
 	seen := map[string]bool{}
 	for _, raw := range opt.Backends {
 		url := strings.TrimRight(strings.TrimSpace(raw), "/")
@@ -146,7 +175,8 @@ func New(opt Options) (*Coordinator, error) {
 		seen[url] = true
 		b := &backend{
 			url: url,
-			cli: &server.Client{BaseURL: url, HTTP: opt.HTTP, PollInterval: opt.PollInterval},
+			cli: &server.Client{BaseURL: url, HTTP: opt.HTTP, PollInterval: opt.PollInterval,
+				Logger: opt.Logger},
 		}
 		b.healthy.Store(true)
 		c.backends = append(c.backends, b)

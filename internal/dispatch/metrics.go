@@ -2,6 +2,9 @@ package dispatch
 
 import (
 	"expvar"
+	"io"
+
+	"visasim/internal/obs"
 )
 
 // metrics aggregates the coordinator's counters in a private expvar.Map —
@@ -23,6 +26,13 @@ type metrics struct {
 	resumeSkips    expvar.Int // cells not dispatched thanks to the store
 
 	backends expvar.Map // per-backend: dispatched, failures, healthy, inflight
+
+	// prom is the Prometheus rendering of the counters above (same
+	// sources, second format) plus the attempt-latency histogram, which
+	// expvar cannot express. Rendered by Coordinator.WritePrometheus and
+	// `visasimctl metrics -prom`.
+	prom        *obs.Registry
+	histAttempt *obs.Histogram // one dispatch attempt: submit → cell resolved
 }
 
 func newMetrics(backends []*backend) *metrics {
@@ -53,5 +63,52 @@ func newMetrics(backends []*backend) *metrics {
 		per.Set("inflight", expvar.Func(func() any { return b.inflight.Load() }))
 		m.backends.Set(b.url, per)
 	}
+	m.initProm(backends)
 	return m
+}
+
+// intFn adapts an expvar.Int into a scrape-time Prometheus reader.
+func intFn(v *expvar.Int) func() float64 {
+	return func() float64 { return float64(v.Value()) }
+}
+
+// initProm builds the Prometheus view over the same expvar counters.
+func (m *metrics) initProm(backends []*backend) {
+	m.prom = obs.NewRegistry()
+	p := m.prom
+	p.NewCounterFunc("visasim_dispatch_cells_total", "Cells accepted across all sweeps.", intFn(&m.cellsTotal))
+	p.NewCounterFunc("visasim_dispatch_dedup_shares_total", "Cells folded into another cell's dispatch.", intFn(&m.dedupShares))
+	p.NewCounterFunc("visasim_dispatch_retries_total", "Re-dispatches after a retryable failure.", intFn(&m.retries))
+	p.NewCounterFunc("visasim_dispatch_failovers_total", "Retries that moved to a different backend.", intFn(&m.failovers))
+	p.NewCounterFunc("visasim_dispatch_hedges_total", "Straggler re-dispatches launched.", intFn(&m.hedges))
+	p.NewCounterFunc("visasim_dispatch_store_hits_total", "Groups served from the durable store.", intFn(&m.storeHits))
+	p.NewCounterFunc("visasim_dispatch_store_misses_total", "Resume lookups that fell through to a dispatch.", intFn(&m.storeMisses))
+	p.NewCounterFunc("visasim_dispatch_store_put_errors_total", "Failed checkpoint writes (sweep kept going).", intFn(&m.storePutErrors))
+	p.NewCounterFunc("visasim_dispatch_resume_skips_total", "Cells not dispatched thanks to the store.", intFn(&m.resumeSkips))
+	dispatched := p.NewCounterFuncVec("visasim_dispatch_backend_dispatched_total", "Attempts sent to the backend (including hedges).")
+	failures := p.NewCounterFuncVec("visasim_dispatch_backend_failures_total", "Attempts the backend failed retryably.")
+	healthy := p.NewGaugeFuncVec("visasim_dispatch_backend_healthy", "1 when the backend's last probe or dispatch succeeded.")
+	inflight := p.NewGaugeFuncVec("visasim_dispatch_backend_inflight", "Cells currently dispatched to the backend.")
+	for _, b := range backends {
+		b := b
+		lbl := map[string]string{"backend": b.url}
+		dispatched.With(lbl, intFn(&b.dispatched))
+		failures.With(lbl, intFn(&b.failures))
+		healthy.With(lbl, func() float64 {
+			if b.healthy.Load() {
+				return 1
+			}
+			return 0
+		})
+		inflight.With(lbl, func() float64 { return float64(b.inflight.Load()) })
+	}
+	m.histAttempt = p.NewHistogram("visasim_dispatch_attempt_seconds",
+		"One dispatch attempt end to end: submit through cell resolution.", nil)
+}
+
+// WritePrometheus renders the coordinator's metrics in Prometheus text
+// exposition format 0.0.4 — the coordinator-side twin of the daemon's
+// GET /metrics/prom.
+func (c *Coordinator) WritePrometheus(w io.Writer) {
+	c.met.prom.WritePrometheus(w)
 }

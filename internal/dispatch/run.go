@@ -5,12 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"visasim/internal/core"
 	"visasim/internal/harness"
+	"visasim/internal/obs"
 	"visasim/internal/server"
 )
 
@@ -28,22 +28,40 @@ type group struct {
 // Run dispatches the cells across the cluster and returns keyed results
 // with harness.Run's semantics: the first failing cell aborts the sweep
 // (in-flight cells finish, queued ones are skipped) and is returned as a
-// *harness.CellError naming the cell.
+// *harness.CellError naming the cell. It ignores caller cancellation;
+// interactive callers use RunContext.
 func (c *Coordinator) Run(cells []harness.Cell, opt harness.Options) (harness.Results, error) {
 	res, _, err := c.RunStats(cells, opt)
 	return res, err
 }
 
-// RunStats is Run plus the per-cell cost records the winning backend
-// measured. The opt.Workers bound is ignored — concurrency is
-// Options.Workers across the whole cluster.
-func (c *Coordinator) RunStats(cells []harness.Cell, _ harness.Options) (harness.Results, harness.Stats, error) {
+// RunContext is Run bounded by ctx: canceling ctx aborts queued groups and
+// every in-flight dispatch attempt.
+func (c *Coordinator) RunContext(ctx context.Context, cells []harness.Cell, opt harness.Options) (harness.Results, error) {
+	res, _, err := c.RunStatsContext(ctx, cells, opt)
+	return res, err
+}
+
+// RunStats is RunStatsContext with a background context — it returns only
+// when the sweep resolves or fails.
+func (c *Coordinator) RunStats(cells []harness.Cell, opt harness.Options) (harness.Results, harness.Stats, error) {
+	return c.RunStatsContext(context.Background(), cells, opt)
+}
+
+// RunStatsContext is Run plus the per-cell cost records the winning backend
+// measured, bounded by ctx. The opt.Workers bound is ignored — concurrency
+// is Options.Workers across the whole cluster. When ctx does not already
+// carry a sweep correlation ID one is minted here, so a sweep entering the
+// cluster at the coordinator is correlated end to end exactly like one
+// entering at a client.
+func (c *Coordinator) RunStatsContext(ctx context.Context, cells []harness.Cell, _ harness.Options) (harness.Results, harness.Stats, error) {
 	if len(cells) == 0 {
 		return harness.Results{}, harness.Stats{}, nil
 	}
 	if err := harness.ValidateKeys(cells); err != nil {
 		return nil, nil, err
 	}
+	ctx, sweep := obs.EnsureSweep(ctx)
 
 	// Content-address every cell up front and fold duplicates into one
 	// dispatch group each.
@@ -87,8 +105,12 @@ func (c *Coordinator) RunStats(cells []harness.Cell, _ harness.Options) (harness
 		}
 		pending = append(pending, g)
 	}
+	c.log.Info("sweep dispatching", "sweep", sweep,
+		"cells", len(cells), "groups", len(groups),
+		"pending", len(pending), "resumed", len(groups)-len(pending),
+		"backends", len(c.backends))
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
 		mu       sync.Mutex
@@ -118,6 +140,8 @@ func (c *Coordinator) RunStats(cells []harness.Cell, _ harness.Options) (harness
 					// disk costs durability, not the sweep.
 					if perr := c.opt.Store.Put(g.hash, res, st); perr != nil {
 						c.met.storePutErrors.Add(1)
+						c.log.Warn("checkpoint write failed", "sweep", sweep,
+							"hash", g.hash[:12], "err", perr)
 					}
 				}
 				mu.Lock()
@@ -139,8 +163,11 @@ func (c *Coordinator) RunStats(cells []harness.Cell, _ harness.Options) (harness
 	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
+		c.log.Error("sweep failed", "sweep", sweep, "err", firstErr)
 		return nil, nil, firstErr
 	}
+	c.log.Info("sweep dispatched", "sweep", sweep,
+		"cells", len(cells), "dispatched_groups", len(pending))
 
 	results := make(harness.Results, len(cells))
 	stats := make(harness.Stats, len(cells))
@@ -185,13 +212,17 @@ func permanent(err error) bool {
 // the least-loaded backend — preferring one the group has not just failed
 // on (failover).
 func (c *Coordinator) dispatchGroup(ctx context.Context, g *group) (*core.Result, harness.CellStats, error) {
+	sweep := obs.SweepID(ctx)
 	var lastErr error
 	avoid := ""
 	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.met.retries.Add(1)
+			delay := c.backoff(attempt)
+			c.log.Warn("cell retrying", "sweep", sweep, "cell", g.keys[0],
+				"attempt", attempt+1, "backoff", delay, "err", lastErr)
 			select {
-			case <-time.After(c.backoff(attempt)):
+			case <-time.After(delay):
 			case <-ctx.Done():
 				return nil, harness.CellStats{}, ctx.Err()
 			}
@@ -206,6 +237,8 @@ func (c *Coordinator) dispatchGroup(ctx context.Context, g *group) (*core.Result
 		}
 		if avoid != "" && b.url != avoid {
 			c.met.failovers.Add(1)
+			c.log.Warn("cell failing over", "sweep", sweep, "cell", g.keys[0],
+				"from", avoid, "to", b.url)
 		}
 		res, st, err := c.attempt(ctx, b, g)
 		if err == nil {
@@ -217,6 +250,8 @@ func (c *Coordinator) dispatchGroup(ctx context.Context, g *group) (*core.Result
 		avoid = b.url
 		lastErr = err
 	}
+	c.log.Error("cell exhausted attempts", "sweep", sweep, "cell", g.keys[0],
+		"attempts", c.opt.MaxAttempts, "err", lastErr)
 	return nil, harness.CellStats{}, fmt.Errorf(
 		"dispatch: cell %s failed after %d attempts: %w", g.keys[0], c.opt.MaxAttempts, lastErr)
 }
@@ -224,13 +259,18 @@ func (c *Coordinator) dispatchGroup(ctx context.Context, g *group) (*core.Result
 // backoff returns the pre-attempt delay: BaseBackoff doubled per retry,
 // capped at MaxBackoff, jittered uniformly over [0.5, 1.5)× so the
 // retries of many concurrently failing cells decorrelate instead of
-// stampeding the next backend together.
+// stampeding the next backend together. The jitter comes from the
+// coordinator's own seedable RNG (Options.Seed), never the process-global
+// math/rand.
 func (c *Coordinator) backoff(attempt int) time.Duration {
 	d := c.opt.BaseBackoff << (attempt - 1)
 	if d > c.opt.MaxBackoff || d <= 0 { // <=0: shift overflow
 		d = c.opt.MaxBackoff
 	}
-	return time.Duration(float64(d) * (0.5 + rand.Float64())) //nolint:gosec // jitter, not crypto
+	c.rngMu.Lock()
+	j := c.rng.Float64()
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * (0.5 + j))
 }
 
 // attempt dispatches g to backend b once, optionally hedging: when the
@@ -276,6 +316,9 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, g *group) (*core.
 			hedge = nil
 			if hb := c.pick(b.url); hb != nil && hb != b {
 				c.met.hedges.Add(1)
+				c.log.Info("cell hedged", "sweep", obs.SweepID(ctx),
+					"cell", g.keys[0], "first", b.url, "hedge", hb.url,
+					"after", c.opt.HedgeAfter)
 				outstanding++
 				go launch(hb)
 			}
@@ -289,13 +332,18 @@ func (c *Coordinator) runOn(ctx context.Context, b *backend, g *group) (*core.Re
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 	b.dispatched.Add(1)
+	t0 := time.Now()
+	defer func() { c.met.histAttempt.Observe(time.Since(t0).Seconds()) }()
 
 	fail := func(err error) (*core.Result, harness.CellStats, error) {
 		if !errors.Is(err, context.Canceled) { // losing a hedge is not the backend's fault
 			b.failures.Add(1)
 			if !permanent(err) {
 				// Don't wait for the next probe to stop routing here.
-				b.healthy.Store(false)
+				if b.healthy.Swap(false) {
+					c.log.Warn("backend marked unhealthy",
+						"sweep", obs.SweepID(ctx), "backend", b.url, "err", err)
+				}
 			}
 		}
 		return nil, harness.CellStats{}, err

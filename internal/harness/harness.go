@@ -5,10 +5,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,6 +37,29 @@ type CellStats struct {
 	Instructions uint64
 	CyclesPerSec float64
 	InstrsPerSec float64
+
+	// Telemetry summarises the cell's per-stage simulator behaviour, so a
+	// hot cell is explainable from its cost record alone — without
+	// decoding the full Result — wherever the record travels (the
+	// daemon's metrics, the dispatch coordinator, the persistent store).
+	Telemetry StageTelemetry
+}
+
+// StageTelemetry is the per-stage summary carried alongside a cell's cost
+// record. All fields are deterministic functions of the cell's Config (they
+// come from the simulated machine, not the wall clock), so identical cells
+// carry identical telemetry wherever they were run.
+type StageTelemetry struct {
+	// MeanIQOccupancy and IQHighWater describe issue-queue pressure;
+	// MeanReadyLen is the mean ready-queue depth (the paper's Figure 2
+	// x-axis).
+	MeanIQOccupancy float64
+	IQHighWater     int
+	MeanReadyLen    float64
+	// PolicySwitches counts controller-driven fetch-policy mode changes;
+	// DVMTriggers counts waiting-queue throttle engagements.
+	PolicySwitches uint64
+	DVMTriggers    uint64
 }
 
 // Stats maps cell keys to their cost records.
@@ -52,6 +77,11 @@ type Options struct {
 	// CPUProfile, when non-empty, writes a pprof CPU profile covering
 	// the whole batch to this path.
 	CPUProfile string
+	// Labels are extra pprof labels applied to every cell's simulation
+	// goroutine alongside the always-present "cell" label (e.g. the
+	// daemon attaches the sweep correlation ID), so profiles attribute
+	// CPU time per sweep and per cell.
+	Labels map[string]string
 }
 
 // CellError reports which cell of a batch failed and why. It is the
@@ -128,6 +158,14 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 		stats    = make(Stats, len(cells))
 		firstErr error
 	)
+	// Stable extra-label ordering so profiles of identical batches carry
+	// identically ordered label sets.
+	extraKeys := make([]string, 0, len(opt.Labels))
+	for k := range opt.Labels {
+		extraKeys = append(extraKeys, k)
+	}
+	sort.Strings(extraKeys)
+
 	jobs := make(chan Cell)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -141,8 +179,21 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 				if stop {
 					continue
 				}
+				kv := make([]string, 0, 2+2*len(extraKeys))
+				kv = append(kv, "cell", c.Key)
+				for _, k := range extraKeys {
+					kv = append(kv, k, opt.Labels[k])
+				}
+				var res *core.Result
+				var err error
 				t0 := time.Now()
-				res, err := core.Run(c.Cfg)
+				// Label the simulation goroutine so CPU profiles
+				// (harness-level or daemon-wide) attribute samples to the
+				// cell — and, through opt.Labels, to the sweep — that
+				// spent them.
+				pprof.Do(context.Background(), pprof.Labels(kv...), func(context.Context) {
+					res, err = core.Run(c.Cfg)
+				})
 				elapsed := time.Since(t0)
 				mu.Lock()
 				if err != nil {
@@ -155,6 +206,13 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 						Seconds:      elapsed.Seconds(),
 						Cycles:       res.Cycles,
 						Instructions: res.TotalCommits(),
+						Telemetry: StageTelemetry{
+							MeanIQOccupancy: res.MeanIQOccupancy,
+							IQHighWater:     res.IQHighWater,
+							MeanReadyLen:    res.MeanReadyLen,
+							PolicySwitches:  res.PolicySwitches,
+							DVMTriggers:     res.DVMTriggers,
+						},
 					}
 					if st.Seconds > 0 {
 						st.CyclesPerSec = float64(st.Cycles) / st.Seconds

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewSweepIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewSweepID()
+		if !strings.HasPrefix(id, "sweep-") || len(id) != len("sweep-")+16 {
+			t.Fatalf("malformed sweep ID %q", id)
+		}
+		if !ValidSweepID(id) {
+			t.Fatalf("minted ID %q fails its own validation", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate sweep ID %q in 100 mints", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestEnsureSweepMintsOnceAndInherits(t *testing.T) {
+	ctx, id := EnsureSweep(context.Background())
+	if id == "" || SweepID(ctx) != id {
+		t.Fatalf("EnsureSweep: ctx carries %q, returned %q", SweepID(ctx), id)
+	}
+	ctx2, id2 := EnsureSweep(ctx)
+	if id2 != id {
+		t.Fatalf("EnsureSweep re-minted: %q then %q", id, id2)
+	}
+	if SweepID(ctx2) != id {
+		t.Fatalf("inherited ctx lost the ID")
+	}
+}
+
+func TestSweepIDAbsent(t *testing.T) {
+	if got := SweepID(context.Background()); got != "" {
+		t.Fatalf("empty context carries sweep ID %q", got)
+	}
+}
+
+func TestValidSweepID(t *testing.T) {
+	for _, ok := range []string{"sweep-abc123", "Sweep_0.1:x", "a"} {
+		if !ValidSweepID(ok) {
+			t.Errorf("ValidSweepID(%q) = false, want true", ok)
+		}
+	}
+	bad := []string{"", "has space", "new\nline", "quote\"", strings.Repeat("x", 129)}
+	for _, b := range bad {
+		if ValidSweepID(b) {
+			t.Errorf("ValidSweepID(%q) = true, want false", b)
+		}
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must report disabled at every level.
+	l := Logger(nil)
+	l.Info("dropped", "k", "v")
+	if l.Enabled(context.Background(), 0) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusRenderingGolden pins the exact text-exposition bytes the
+// registry produces: family ordering, TYPE/HELP lines, cumulative buckets,
+// +Inf terminator, _sum/_count. A scraper-visible format change must show
+// up here as a deliberate diff.
+func TestPrometheusRenderingGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("demo_jobs_total", "Jobs accepted.")
+	g := r.NewGauge("demo_queue_depth", "Jobs waiting.")
+	r.NewGaugeFunc("demo_hit_ratio", "Cache hit ratio.", func() float64 { return 0.25 })
+	r.NewCounterFunc("demo_cells_total", "Cells resolved.", func() float64 { return 7 })
+	h := r.NewHistogram("demo_wait_seconds", "Queue wait.", []float64{0.01, 0.1, 1})
+
+	c.Add(3)
+	c.Inc()
+	g.Set(5)
+	g.Add(-3)
+	h.Observe(0.004)
+	h.Observe(0.05)
+	h.Observe(42)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `# HELP demo_cells_total Cells resolved.
+# TYPE demo_cells_total counter
+demo_cells_total 7
+# HELP demo_hit_ratio Cache hit ratio.
+# TYPE demo_hit_ratio gauge
+demo_hit_ratio 0.25
+# HELP demo_jobs_total Jobs accepted.
+# TYPE demo_jobs_total counter
+demo_jobs_total 4
+# HELP demo_queue_depth Jobs waiting.
+# TYPE demo_queue_depth gauge
+demo_queue_depth 2
+# HELP demo_wait_seconds Queue wait.
+# TYPE demo_wait_seconds histogram
+demo_wait_seconds_bucket{le="0.01"} 1
+demo_wait_seconds_bucket{le="0.1"} 2
+demo_wait_seconds_bucket{le="1"} 2
+demo_wait_seconds_bucket{le="+Inf"} 3
+demo_wait_seconds_sum 42.054
+demo_wait_seconds_count 3
+`
+	if b.String() != want {
+		t.Errorf("rendering drifted\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	r.NewGauge("dup_total", "y")
+}
+
+func TestHistogramCountAndDefaults(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "x", nil)
+	if got, want := len(h.bounds), len(DefBuckets); got != want {
+		t.Fatalf("default buckets: got %d, want %d", got, want)
+	}
+	h.Observe(0.002)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	cases := map[float64]string{0.5: "0.5"}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(2.5e-1); got != "0.25" {
+		t.Errorf("formatFloat(0.25) = %q", got)
+	}
+}

@@ -140,6 +140,19 @@ type Processor struct {
 	lastSampleROBAVF float64
 	sampleIdx        int
 
+	// Per-stage telemetry: controller-driven fetch-policy mode changes
+	// (FLUSH engaging/disengaging) and waiting-queue throttle engagements
+	// (DVM triggers), cumulative since ResetStats, with the previous
+	// cycle's decision state for edge detection; ivStart* carry the
+	// interval deltas.
+	policySwitches  uint64
+	dvmTriggers     uint64
+	prevUseFlush    bool
+	prevWaitCapped  bool
+	ivStartOcc      uint64
+	ivStartSwitches uint64
+	ivStartTriggers uint64
+
 	// Squashed-instruction tag accounting (Table 1's second accuracy
 	// figure): a squashed instruction's ground truth is un-ACE, so a
 	// set ACE tag is a false positive.
@@ -301,6 +314,11 @@ func (p *Processor) ResetStats() {
 	p.resTaggedSum, p.resTaggedCount = 0, 0
 	p.resUntaggedSum, p.resUntaggedCount = 0, 0
 	p.waitTaggedSum, p.waitUntaggedSum = 0, 0
+	p.iq.ResetHighWater()
+	p.policySwitches, p.dvmTriggers = 0, 0
+	p.prevUseFlush = p.dec.UseFlush
+	p.prevWaitCapped = p.dec.WaitingCap >= 0
+	p.ivStartOcc, p.ivStartSwitches, p.ivStartTriggers = 0, 0, 0
 
 	p.intervals = nil
 	p.rqHist = stats.NewRQHistogram(p.cfg.IQSize)
@@ -327,6 +345,16 @@ func (p *Processor) Step() {
 		p.dec = p.ctrl.Decide(&v)
 	} else {
 		p.dec = NoDecision()
+	}
+	if p.dec.UseFlush != p.prevUseFlush {
+		p.policySwitches++
+		p.prevUseFlush = p.dec.UseFlush
+	}
+	if capped := p.dec.WaitingCap >= 0; capped != p.prevWaitCapped {
+		if capped {
+			p.dvmTriggers++
+		}
+		p.prevWaitCapped = capped
 	}
 	p.issue(now)
 	p.processFlushes(now)
@@ -436,15 +464,18 @@ func (p *Processor) closeInterval() {
 	}
 	commits := p.totalCommits - p.ivStartCommits
 	iv := stats.Interval{
-		Index:       len(p.intervals),
-		Cycles:      cycles,
-		Commits:     commits,
-		IPC:         float64(commits) / float64(cycles),
-		AvgReadyLen: float64(p.ivReadySum) / float64(cycles),
-		L2Misses:    p.mem.L2MissCount - p.ivStartL2,
-		IQAVF:       p.iqTrue.AVFSince(p.ivStartTrue, p.ivStartCycle),
-		IQAVFTagged: p.iqTag.AVFSince(p.ivStartTag, p.ivStartCycle),
-		ROBAVF:      p.robAcc.AVFSince(p.ivStartROB, p.ivStartCycle),
+		Index:          len(p.intervals),
+		Cycles:         cycles,
+		Commits:        commits,
+		IPC:            float64(commits) / float64(cycles),
+		AvgReadyLen:    float64(p.ivReadySum) / float64(cycles),
+		L2Misses:       p.mem.L2MissCount - p.ivStartL2,
+		IQAVF:          p.iqTrue.AVFSince(p.ivStartTrue, p.ivStartCycle),
+		IQAVFTagged:    p.iqTag.AVFSince(p.ivStartTag, p.ivStartCycle),
+		ROBAVF:         p.robAcc.AVFSince(p.ivStartROB, p.ivStartCycle),
+		MeanIQOcc:      float64(p.occSum-p.ivStartOcc) / float64(cycles),
+		PolicySwitches: p.policySwitches - p.ivStartSwitches,
+		DVMTriggers:    p.dvmTriggers - p.ivStartTriggers,
 	}
 	p.intervals = append(p.intervals, iv)
 	p.prevIPC = iv.IPC
@@ -459,6 +490,9 @@ func (p *Processor) closeInterval() {
 	p.ivStartROB = p.robAcc.Sum()
 	p.ivStartROBTag = p.robTag.Sum()
 	p.ivReadySum = 0
+	p.ivStartOcc = p.occSum
+	p.ivStartSwitches = p.policySwitches
+	p.ivStartTriggers = p.dvmTriggers
 }
 
 func (p *Processor) wheelPush(u *uarch.Uop, now uint64) {

@@ -40,6 +40,15 @@ type Results struct {
 	Squashed         uint64
 	Flushes          uint64
 
+	// Per-stage telemetry (whole run; the per-interval series lives in
+	// Intervals). PolicySwitches counts controller-driven fetch-policy
+	// mode changes (FLUSH engaging or disengaging); DVMTriggers counts
+	// waiting-queue throttle engagements; IQHighWater is the peak issue-
+	// queue occupancy in the measured region.
+	PolicySwitches uint64
+	DVMTriggers    uint64
+	IQHighWater    int
+
 	// Diagnostics.
 	L1IMissRate     float64
 	L1DMissRate     float64
@@ -137,6 +146,10 @@ func (p *Processor) results() *Results {
 		Mispredicts:    p.bp.Mispredicts,
 		SquashedTotal:  p.squashedTotal,
 		SquashedTagged: p.squashedTagged,
+
+		PolicySwitches: p.policySwitches,
+		DVMTriggers:    p.dvmTriggers,
+		IQHighWater:    p.iq.HighWater(),
 	}
 	for i, t := range p.threads {
 		r.Commits[i] = t.commits

@@ -28,6 +28,10 @@ type SubmitRequest struct {
 type SubmitResponse struct {
 	// ID identifies the job for polling.
 	ID string `json:"id"`
+	// Sweep is the correlation ID the job runs under: the submission's
+	// obs.SweepHeader value when present and valid, otherwise minted at
+	// accept. Grep it across client, daemon and coordinator logs.
+	Sweep string `json:"sweep,omitempty"`
 	// Cells echoes the number of accepted cells.
 	Cells int `json:"cells"`
 	// Job is the poll URL for the job ("/v1/jobs/{id}").

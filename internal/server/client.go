@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"time"
 
 	"visasim/internal/core"
 	"visasim/internal/harness"
+	"visasim/internal/obs"
 )
 
 // Client runs sweeps against a visasimd daemon. Its Run and RunStats
@@ -30,7 +32,14 @@ type Client struct {
 	// set one so a wedged daemon fails the sweep instead of hanging it.
 	// Callers needing per-call control use Wait with their own context.
 	Timeout time.Duration
+	// Logger receives the client's structured log lines — every submit,
+	// wait and failure, each carrying the sweep correlation ID (minted at
+	// Submit when the context does not already carry one, and sent to the
+	// daemon in the obs.SweepHeader header). Nil discards.
+	Logger *slog.Logger
 }
+
+func (c *Client) log() *slog.Logger { return obs.Logger(c.Logger) }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
@@ -82,8 +91,13 @@ func decodeError(resp *http.Response) error {
 }
 
 // Submit posts one sweep and returns the job acknowledgement. The request
-// is canceled when ctx expires.
+// is canceled when ctx expires. Submit is the correlation origin: when ctx
+// does not already carry a sweep ID (a coordinator minted one upstream),
+// one is minted here, and either way it travels to the daemon in the
+// obs.SweepHeader header so client, daemon and coordinator logs of the
+// same sweep grep together.
 func (c *Client) Submit(ctx context.Context, cells []harness.Cell) (SubmitResponse, error) {
+	ctx, sweep := obs.EnsureSweep(ctx)
 	req := SubmitRequest{Cells: make([]SubmitCell, len(cells))}
 	for i, cell := range cells {
 		req.Cells[i] = SubmitCell{Key: cell.Key, Config: cell.Cfg}
@@ -97,18 +111,24 @@ func (c *Client) Submit(ctx context.Context, cells []harness.Cell) (SubmitRespon
 		return SubmitResponse{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(obs.SweepHeader, sweep)
 	resp, err := c.http().Do(hreq)
 	if err != nil {
+		c.log().Error("sweep submit failed", "sweep", sweep, "server", c.BaseURL, "err", err)
 		return SubmitResponse{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		return SubmitResponse{}, decodeError(resp)
+		err := decodeError(resp)
+		c.log().Error("sweep submit rejected", "sweep", sweep, "server", c.BaseURL, "err", err)
+		return SubmitResponse{}, err
 	}
 	var ack SubmitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
 		return SubmitResponse{}, fmt.Errorf("decoding submit response: %w", err)
 	}
+	c.log().Info("sweep submitted", "sweep", sweep, "server", c.BaseURL,
+		"job", ack.ID, "cells", len(cells))
 	return ack, nil
 }
 
@@ -158,33 +178,54 @@ func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 
 // Run submits the cells, waits for the job, and returns keyed results with
 // harness.Run's semantics: the first failing cell aborts with a *CellError.
+// It ignores caller cancellation; interactive callers use RunContext.
 func (c *Client) Run(cells []harness.Cell, opt harness.Options) (harness.Results, error) {
 	res, _, err := c.RunStats(cells, opt)
 	return res, err
 }
 
-// RunStats is Run plus the per-cell cost records the daemon measured (for
-// cache hits these echo the original simulation, not the cached serve). The
-// opt.Workers bound is ignored — concurrency is the daemon's to manage. The
-// whole call is bounded by c.Timeout when set.
-func (c *Client) RunStats(cells []harness.Cell, _ harness.Options) (harness.Results, harness.Stats, error) {
+// RunContext is Run bounded by ctx: canceling ctx aborts the submit or the
+// poll loop immediately, so a coordinator or CLI abort actually stops the
+// sweep instead of letting it poll to completion in the background.
+func (c *Client) RunContext(ctx context.Context, cells []harness.Cell, opt harness.Options) (harness.Results, error) {
+	res, _, err := c.RunStatsContext(ctx, cells, opt)
+	return res, err
+}
+
+// RunStats is RunStatsContext with a background context — it returns only
+// when the job resolves or c.Timeout expires.
+func (c *Client) RunStats(cells []harness.Cell, opt harness.Options) (harness.Results, harness.Stats, error) {
+	return c.RunStatsContext(context.Background(), cells, opt)
+}
+
+// RunStatsContext is Run plus the per-cell cost records the daemon measured
+// (for cache hits these echo the original simulation, not the cached
+// serve). The opt.Workers bound is ignored — concurrency is the daemon's to
+// manage. The call ends at ctx's cancellation or after c.Timeout (when
+// set), whichever comes first; the c.Timeout deadline stays a bound even
+// for callers passing a never-canceled context.
+func (c *Client) RunStatsContext(ctx context.Context, cells []harness.Cell, _ harness.Options) (harness.Results, harness.Stats, error) {
 	if len(cells) == 0 {
 		return harness.Results{}, harness.Stats{}, nil
 	}
-	ctx := context.Background()
 	if c.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
 		defer cancel()
 	}
+	ctx, sweep := obs.EnsureSweep(ctx)
 	ack, err := c.Submit(ctx, cells)
 	if err != nil {
 		return nil, nil, err
 	}
 	st, err := c.Wait(ctx, ack.ID)
 	if err != nil {
+		c.log().Error("sweep wait failed", "sweep", sweep, "server", c.BaseURL,
+			"job", ack.ID, "err", err)
 		return nil, nil, err
 	}
+	c.log().Info("sweep finished", "sweep", sweep, "server", c.BaseURL,
+		"job", ack.ID, "state", st.State, "cache_hits", st.CacheHits)
 	if st.State == StateCanceled {
 		return nil, nil, errors.New("server: job canceled: " + st.Error)
 	}

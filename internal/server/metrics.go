@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"visasim/internal/harness"
+	"visasim/internal/obs"
 )
 
 // maxCellStatRecords bounds the per-cell stats map in /metrics; beyond it,
@@ -58,6 +59,15 @@ type metrics struct {
 	statsMu    sync.Mutex
 	cellStats  expvar.Map // per-cell CellStats, keyed by hash prefix
 	statsCount int
+
+	// prom is the Prometheus text-format view served at /metrics/prom:
+	// scrape-time readers over the expvar counters above (one source of
+	// truth, two renderings) plus real latency histograms, which expvar
+	// cannot express.
+	prom          *obs.Registry
+	histQueueWait *obs.Histogram // submit → job start
+	histSimulate  *obs.Histogram // harness.RunStats wall-clock per fresh cell
+	histCacheHit  *obs.Histogram // resolved-without-simulating serve time
 }
 
 func newMetrics() *metrics {
@@ -92,7 +102,55 @@ func newMetrics() *metrics {
 	} {
 		m.root.Set(name, v)
 	}
+	m.initProm()
 	return m
+}
+
+// intFn adapts an expvar.Int into a scrape-time Prometheus reader.
+func intFn(v *expvar.Int) func() float64 {
+	return func() float64 { return float64(v.Value()) }
+}
+
+// floatFn adapts an expvar.Float likewise.
+func floatFn(v *expvar.Float) func() float64 {
+	return func() float64 { return v.Value() }
+}
+
+// initProm builds the Prometheus registry over the expvar counters (the
+// single source of truth) and creates the latency histograms. Metric names
+// follow Prometheus conventions: *_total for counters, base units
+// (seconds, bytes) in the name.
+func (m *metrics) initProm() {
+	m.prom = obs.NewRegistry()
+	p := m.prom
+	p.NewCounterFunc("visasimd_jobs_submitted_total", "Sweep jobs accepted by POST /v1/sweeps.", intFn(&m.jobsSubmitted))
+	p.NewGaugeFunc("visasimd_jobs_queued", "Jobs waiting in the bounded queue.", intFn(&m.jobsQueued))
+	p.NewGaugeFunc("visasimd_jobs_running", "Jobs currently executing.", intFn(&m.jobsRunning))
+	p.NewCounterFunc("visasimd_jobs_done_total", "Jobs that completed with every cell resolved.", intFn(&m.jobsDone))
+	p.NewCounterFunc("visasimd_jobs_failed_total", "Jobs that finished with at least one failed cell.", intFn(&m.jobsFailed))
+	p.NewCounterFunc("visasimd_jobs_canceled_total", "Queued jobs canceled by shutdown.", intFn(&m.jobsCanceled))
+	p.NewCounterFunc("visasimd_jobs_rejected_total", "Submissions refused (queue full or shutting down).", intFn(&m.jobsRejected))
+	p.NewCounterFunc("visasimd_cells_total", "Cells resolved, cache hits plus fresh simulations.", intFn(&m.cellsTotal))
+	p.NewCounterFunc("visasimd_cache_hits_total", "Cells resolved without a fresh simulation.", intFn(&m.cacheHits))
+	p.NewCounterFunc("visasimd_sims_run_total", "Fresh simulations executed.", intFn(&m.simsRun))
+	p.NewGaugeFunc("visasimd_cache_hit_ratio", "Lifetime cache hit ratio over resolved cells.", floatFn(&m.hitRatio))
+	p.NewGaugeFunc("visasimd_cache_entries", "Result-cache entries resident in memory.", intFn(&m.cacheSize))
+	p.NewGaugeFunc("visasimd_cache_evictions_total", "Resolved entries dropped by the in-memory LRU cap.", intFn(&m.cacheEvictions))
+	p.NewCounterFunc("visasimd_store_hits_total", "Cells served from the persistent store.", intFn(&m.storeHits))
+	p.NewCounterFunc("visasimd_store_misses_total", "Store lookups that fell through to a simulation.", intFn(&m.storeMisses))
+	p.NewCounterFunc("visasimd_store_put_errors_total", "Failed store write-throughs (daemon kept going).", intFn(&m.storePutErrors))
+	p.NewGaugeFunc("visasimd_store_entries", "Entries resident in the persistent store.", intFn(&m.storeEntries))
+	p.NewGaugeFunc("visasimd_store_bytes", "Bytes resident in the persistent store.", intFn(&m.storeBytes))
+	p.NewCounterFunc("visasimd_sim_cycles_total", "Simulated cycles across all fresh runs.", intFn(&m.simCycles))
+	p.NewCounterFunc("visasimd_sim_instructions_total", "Committed instructions across all fresh runs.", intFn(&m.simInstrs))
+	p.NewCounterFunc("visasimd_sim_seconds_total", "Summed simulation wall-clock seconds (overlaps under parallelism).", floatFn(&m.simSeconds))
+	p.NewGaugeFunc("visasimd_sim_cycles_per_sec", "Simulated cycles per summed simulation second.", floatFn(&m.cyclesPerSec))
+	m.histQueueWait = p.NewHistogram("visasimd_queue_wait_seconds",
+		"Time a job spent queued before a worker started it.", nil)
+	m.histSimulate = p.NewHistogram("visasimd_simulate_seconds",
+		"Wall-clock of one fresh cell simulation (queue wait excluded).", nil)
+	m.histCacheHit = p.NewHistogram("visasimd_cache_serve_seconds",
+		"Time to serve a cell from the in-memory cache or the store.", nil)
 }
 
 // recordCell accounts one resolved cell (hit or miss) and refreshes the

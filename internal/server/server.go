@@ -24,11 +24,14 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
+	"time"
 
 	"visasim/internal/core"
 	"visasim/internal/harness"
+	"visasim/internal/obs"
 	"visasim/internal/store"
 	"visasim/internal/workload"
 )
@@ -59,6 +62,12 @@ type Options struct {
 	// before simulating, so a restarted daemon serves previously computed
 	// cells from disk (see DESIGN.md §8).
 	Store *store.Store
+	// Logger receives the service's structured log lines. Every line
+	// about a job or cell carries the job's sweep correlation ID (taken
+	// from the obs.SweepHeader request header, or minted at submit), so
+	// one grep correlates daemon activity with the submitting client's
+	// and coordinator's logs. Nil discards.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +105,12 @@ type jobCell struct {
 // job is one accepted sweep submission.
 type job struct {
 	id string
+	// sweep is the correlation ID the submission carried (or was minted
+	// at accept); immutable after creation.
+	sweep string
+	// queuedAt is when the submission was accepted, for the queue-wait
+	// histogram.
+	queuedAt time.Time
 
 	mu      sync.Mutex
 	state   string
@@ -117,6 +132,7 @@ type Server struct {
 	cache *resultCache
 	store *store.Store // durable tier; nil when not configured
 	met   *metrics
+	log   *slog.Logger
 
 	mu     sync.Mutex
 	closed bool
@@ -138,6 +154,7 @@ func New(opt Options) *Server {
 		cache: newResultCache(opt.CacheEntries),
 		store: opt.Store,
 		met:   newMetrics(),
+		log:   obs.Logger(opt.Logger),
 		jobs:  map[string]*job{},
 		queue: make(chan *job, opt.QueueDepth),
 		quit:  make(chan struct{}),
@@ -162,6 +179,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
 	return mux
 }
 
@@ -216,6 +234,8 @@ func (s *Server) cancelJob(j *job) {
 	j.mu.Unlock()
 	s.retireJob(j)
 	s.met.jobsCanceled.Add(1)
+	s.log.Warn("job canceled", "sweep", j.sweep, "job", j.id,
+		"reason", "shutdown before the job ran")
 }
 
 // retireJob records j as terminal and evicts terminal jobs beyond the
@@ -236,11 +256,15 @@ func (s *Server) retireJob(j *job) {
 // by the server-wide simulation semaphore) and everyone else — later cells
 // of this job, or cells of concurrent jobs — shares the leader's result.
 func (s *Server) runJob(j *job) {
+	queueWait := time.Since(j.queuedAt)
+	s.met.histQueueWait.Observe(queueWait.Seconds())
 	j.mu.Lock()
 	j.state = StateRunning
 	j.bump()
 	j.mu.Unlock()
 	s.met.jobsRunning.Add(1)
+	s.log.Info("job running", "sweep", j.sweep, "job", j.id,
+		"cells", len(j.cells), "queue_wait", queueWait)
 
 	var wg sync.WaitGroup
 	for i := range j.cells {
@@ -248,12 +272,17 @@ func (s *Server) runJob(j *job) {
 		e, leader := s.cache.claim(c.hash)
 		if !leader {
 			if e.resolved() {
+				t0 := time.Now()
 				s.finishCell(j, c, e, true)
+				s.met.histCacheHit.Observe(time.Since(t0).Seconds())
 				continue
 			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Shared-flight follower: the wait is dominated by the
+				// leader's simulation, so it belongs to neither the
+				// cache-serve nor the simulate histogram.
 				<-e.done
 				s.finishCell(j, c, e, true)
 			}()
@@ -266,22 +295,30 @@ func (s *Server) runJob(j *job) {
 			// in-memory entry — may already hold this address on disk, in
 			// which case the cell is a hit without simulating.
 			if s.store != nil {
+				t0 := time.Now()
 				if res, st, ok := s.store.Get(c.hash); ok {
 					s.met.storeHits.Add(1)
 					s.cache.fill(e, res, st)
 					s.syncCacheGauges()
 					s.finishCell(j, c, e, true)
+					s.met.histCacheHit.Observe(time.Since(t0).Seconds())
+					s.log.Debug("cell served from store", "sweep", j.sweep,
+						"job", j.id, "cell", c.key, "hash", c.hash[:12])
 					return
 				}
 				s.met.storeMisses.Add(1)
 			}
 			s.sem <- struct{}{}
+			t0 := time.Now()
 			res, stats, err := harness.RunStats(
 				[]harness.Cell{{Key: c.hash, Cfg: c.cfg}},
-				harness.Options{Workers: 1})
+				harness.Options{Workers: 1, Labels: map[string]string{"sweep": j.sweep}})
+			s.met.histSimulate.Observe(time.Since(t0).Seconds())
 			<-s.sem
 			if err != nil {
 				s.cache.fail(c.hash, e, err)
+				s.log.Error("cell simulation failed", "sweep", j.sweep,
+					"job", j.id, "cell", c.key, "hash", c.hash[:12], "err", err)
 			} else {
 				st := stats[c.hash]
 				s.met.recordSim(c.hash, st)
@@ -291,8 +328,16 @@ func (s *Server) runJob(j *job) {
 					// daemon to memory-only instead of failing the cell.
 					if perr := s.store.Put(c.hash, res[c.hash], st); perr != nil {
 						s.met.storePutErrors.Add(1)
+						s.log.Warn("store write-through failed", "sweep", j.sweep,
+							"job", j.id, "hash", c.hash[:12], "err", perr)
 					}
 				}
+				s.log.Debug("cell simulated", "sweep", j.sweep, "job", j.id,
+					"cell", c.key, "hash", c.hash[:12],
+					"seconds", st.Seconds, "cycles", st.Cycles,
+					"iq_high_water", st.Telemetry.IQHighWater,
+					"policy_switches", st.Telemetry.PolicySwitches,
+					"dvm_triggers", st.Telemetry.DVMTriggers)
 			}
 			s.syncCacheGauges()
 			s.finishCell(j, c, e, false)
@@ -301,10 +346,14 @@ func (s *Server) runJob(j *job) {
 	wg.Wait()
 
 	failed := false
+	hits := 0
 	j.mu.Lock()
 	for i := range j.cells {
 		if j.cells[i].err != nil {
 			failed = true
+		}
+		if j.cells[i].hit {
+			hits++
 		}
 	}
 	if failed {
@@ -312,6 +361,7 @@ func (s *Server) runJob(j *job) {
 	} else {
 		j.state = StateDone
 	}
+	state := j.state
 	j.bump()
 	j.mu.Unlock()
 	s.retireJob(j)
@@ -322,6 +372,8 @@ func (s *Server) runJob(j *job) {
 	} else {
 		s.met.jobsDone.Add(1)
 	}
+	s.log.Info("job finished", "sweep", j.sweep, "job", j.id,
+		"state", state, "cells", len(j.cells), "cache_hits", hits)
 }
 
 // syncCacheGauges refreshes the cache/store occupancy gauges after a cell
@@ -422,25 +474,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cells[i] = jobCell{key: key, hash: hash, cfg: canon}
 	}
 
+	// Adopt the caller's sweep correlation ID (obs.SweepHeader) when it is
+	// present and well formed — so daemon log lines grep together with the
+	// submitting client's — and mint one otherwise, so every job is
+	// correlatable even from bare-curl submissions.
+	sweep := r.Header.Get(obs.SweepHeader)
+	if !obs.ValidSweepID(sweep) {
+		sweep = obs.NewSweepID()
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.met.jobsRejected.Add(1)
+		s.log.Warn("job rejected", "sweep", sweep, "reason", "shutting down")
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	s.seq++
 	j := &job{
-		id:      fmt.Sprintf("job-%d", s.seq),
-		state:   StateQueued,
-		cells:   cells,
-		changed: make(chan struct{}),
+		id:       fmt.Sprintf("job-%d", s.seq),
+		sweep:    sweep,
+		queuedAt: time.Now(),
+		state:    StateQueued,
+		cells:    cells,
+		changed:  make(chan struct{}),
 	}
 	select {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
 		s.met.jobsRejected.Add(1)
+		s.log.Warn("job rejected", "sweep", sweep, "reason", "queue full",
+			"queue_depth", s.opt.QueueDepth)
 		writeError(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.opt.QueueDepth)
 		return
 	}
@@ -449,8 +515,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.met.jobsSubmitted.Add(1)
 	s.met.jobsQueued.Add(1)
+	s.log.Info("job accepted", "sweep", sweep, "job", j.id, "cells", len(cells))
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID:     j.id,
+		Sweep:  sweep,
 		Cells:  len(cells),
 		Job:    "/v1/jobs/" + j.id,
 		Stream: "/v1/jobs/" + j.id + "/stream",
@@ -580,4 +648,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	io.WriteString(w, s.met.root.String()) //nolint:errcheck
+}
+
+// handleMetricsProm renders the same counters (plus latency histograms,
+// which expvar cannot express) in Prometheus text exposition format 0.0.4.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	// Occupancy gauges are synced on cell resolution; refresh at scrape
+	// time too so an idle daemon still reports current cache/store sizes.
+	s.syncCacheGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.prom.WritePrometheus(w) //nolint:errcheck // scraper went away; nothing to do
 }

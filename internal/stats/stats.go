@@ -23,6 +23,19 @@ type Interval struct {
 	// ROBAVF is the interval's ground-truth reorder-buffer AVF (used by
 	// the ROB-DVM extension).
 	ROBAVF float64
+
+	// Per-stage telemetry (PR 5): what the front end and the controllers
+	// were doing during the interval, so a slow or vulnerable interval is
+	// explainable from its record alone.
+
+	// MeanIQOcc is the mean issue-queue occupancy over the interval.
+	MeanIQOcc float64
+	// PolicySwitches counts fetch-policy mode changes in the interval
+	// (FLUSH semantics engaging or disengaging via a controller decision).
+	PolicySwitches uint64
+	// DVMTriggers counts controller decisions that newly engaged
+	// waiting-queue throttling (DVM's lever) in the interval.
+	DVMTriggers uint64
 }
 
 // ThroughputIPC returns total commits per cycle.

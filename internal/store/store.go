@@ -125,7 +125,17 @@ func Open(dir string, opt Options) (*Store, error) {
 			os.Remove(filepath.Join(vdir, de.Name())) //nolint:errcheck
 		}
 	}
-	sort.Slice(found, func(i, j int) bool { return found[i].mod < found[j].mod })
+	// Order by modification time, then by hash: many filesystems store
+	// mtimes at second or coarser granularity, so entries written in one
+	// burst collide on mod and an mtime-only sort would seed the LRU
+	// order — and therefore eviction order — differently on every Open.
+	// The hash tie-break keeps restart eviction deterministic.
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mod != found[j].mod {
+			return found[i].mod < found[j].mod
+		}
+		return found[i].hash < found[j].hash
+	})
 	for _, f := range found {
 		s.tick++
 		s.sizes[f.hash] = f.size
@@ -287,7 +297,10 @@ func (s *Store) evictLocked() {
 	for s.total > s.opt.MaxBytes && len(s.sizes) > 1 {
 		oldest, oldestSeq := "", int64(0)
 		for h, q := range s.seq {
-			if oldest == "" || q < oldestSeq {
+			// Sequence numbers are unique in-process; the hash tie-break
+			// guards the impossible-by-construction case anyway so eviction
+			// never depends on map iteration order.
+			if oldest == "" || q < oldestSeq || (q == oldestSeq && h < oldest) {
 				oldest, oldestSeq = h, q
 			}
 		}

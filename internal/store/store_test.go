@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -266,4 +267,56 @@ func TestConcurrentPutGet(t *testing.T) {
 		}
 	}
 	t.Fatal("writer never finished")
+}
+
+// TestOpenEvictionDeterministicOnMtimeTies pins the LRU tie-break fix: on
+// filesystems with coarse mtimes, a burst of writes lands many entries on
+// the same timestamp, and Open's former mtime-only ordering left restart
+// eviction order to sort.Slice's unstable whims. With the hash tie-break,
+// equal-mtime entries always evict smallest-hash-first — byte-identical
+// survivor sets on every reopen.
+func TestOpenEvictionDeterministicOnMtimeTies(t *testing.T) {
+	hashes := []string{"0a", "1b", "2c", "3d", "4e", "5f"}
+	blob := bytes.Repeat([]byte("x"), 100)
+	when := time.Now().Add(-time.Hour).Truncate(time.Second)
+
+	survivors := func() []string {
+		dir := t.TempDir()
+		vdir := filepath.Join(dir, layoutVersion)
+		if err := os.MkdirAll(vdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hashes {
+			p := filepath.Join(vdir, h+entryExt)
+			if err := os.WriteFile(p, blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// Collapse every mtime onto one instant, as a coarse-mtime
+			// filesystem would for a write burst.
+			if err := os.Chtimes(p, when, when); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Room for three 100-byte entries: Open must evict the other three.
+		s, err := Open(dir, Options{MaxBytes: 350})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := s.Hashes()
+		sort.Strings(out)
+		return out
+	}
+
+	want := []string{"3d", "4e", "5f"} // smallest hashes evict first on a tie
+	for round := 0; round < 3; round++ {
+		got := survivors()
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d survivors %v, want %v", round, len(got), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: survivors %v, want %v", round, got, want)
+			}
+		}
+	}
 }

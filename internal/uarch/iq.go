@@ -47,6 +47,11 @@ type IQ struct {
 
 	// candidates is the reusable per-cycle ready list.
 	candidates []*Uop
+
+	// highWater is the largest occupancy seen since the last
+	// ResetHighWater — cheap per-stage telemetry (deterministic, so it
+	// travels in Results without disturbing golden comparisons).
+	highWater int
 }
 
 // NewIQ returns an issue queue with size slots.
@@ -75,6 +80,14 @@ func (q *IQ) ThreadLen(t int) int { return q.perThread[t] }
 // Full reports whether no slot is free.
 func (q *IQ) Full() bool { return q.count == len(q.slots) }
 
+// HighWater returns the largest occupancy seen since the last
+// ResetHighWater (or construction).
+func (q *IQ) HighWater() int { return q.highWater }
+
+// ResetHighWater restarts high-water tracking from the current occupancy —
+// the pipeline calls it when statistics reset after warmup.
+func (q *IQ) ResetHighWater() { q.highWater = q.count }
+
 // Insert places u into a free slot. It panics if the queue is full or the
 // uop is already resident — callers gate on Full().
 func (q *IQ) Insert(u *Uop) {
@@ -90,6 +103,9 @@ func (q *IQ) Insert(u *Uop) {
 	u.IQSlot = slot
 	u.Stage = StageInIQ
 	q.count++
+	if q.count > q.highWater {
+		q.highWater = q.count
+	}
 	q.perThread[u.Thread]++
 	if u.ACE {
 		q.cen.ResidentACE++

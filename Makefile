@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race cluster-test obs-smoke bench bench-throughput golden experiments examples serve fmt vet staticcheck clean
+.PHONY: all build test test-short test-race test-cover cluster-test obs-smoke bench bench-throughput golden experiments examples serve fmt vet staticcheck clean
 
 all: build test
 
@@ -22,6 +22,13 @@ test-short:
 # 10-minute budget, hence the explicit timeout.
 test-race:
 	$(GO) test -race -timeout 45m ./...
+
+# Full-module coverage: the go test output is the per-package summary
+# (each "ok" line carries its coverage %), the profile lands in coverage.out
+# (kept as a CI artifact; locally: go tool cover -html=coverage.out).
+test-cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Cluster smoke test: boots two in-process visasimd backends and runs a
 # coordinator sweep across them, asserting byte-identical parity with a

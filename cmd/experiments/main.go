@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"visasim/internal/core"
+	"visasim/internal/decision"
 	"visasim/internal/dispatch"
 	"visasim/internal/experiments"
 	"visasim/internal/harness"
@@ -61,6 +62,8 @@ func main() {
 		hedgeAfter    = flag.Duration("hedge", 0, "with -backends: re-dispatch straggler cells after this delay (0 disables)")
 		logLevel      = flag.String("log-level", "warn", "minimum log level for -server/-backends sweeps: debug, info, warn, error")
 		logFormat     = flag.String("log-format", "text", "log line format: text or json")
+		traceLevel    = flag.Int("trace-level", 0, "record per-cell decision traces: 0 off, 1 decision edges, 2 adds per-sample observations (local sweeps only)")
+		traceDir      = flag.String("trace-dir", "", "with -trace-level: write each cell's trace to DIR/<key>.vdt (default decision-traces)")
 	)
 	flag.Parse()
 
@@ -76,6 +79,34 @@ func main() {
 	defer stopSignals()
 
 	p := experiments.Params{Budget: *budget, Workers: *workers}
+	if *traceLevel > 0 {
+		dir := *traceDir
+		if dir == "" {
+			dir = "decision-traces"
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		p.TraceLevel = *traceLevel
+		p.TraceSink = func(key string, tr *decision.Trace) {
+			// Cell keys embed "/" separators; flatten for the filesystem.
+			path := filepath.Join(dir, strings.ReplaceAll(key, "/", "_")+".vdt")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: trace %s: %v\n", key, err)
+				return
+			}
+			if err := tr.Encode(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "experiments: trace %s: %v\n", key, err)
+				return
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: trace %s: %v\n", key, err)
+			}
+		}
+	}
 	switch {
 	case *backendsCSV != "":
 		var st *store.Store

@@ -1,76 +1,46 @@
-// Command tracedump prints a window of a benchmark's committed dynamic
-// instruction stream with its ground-truth ACE classification and the
-// per-PC tag the VISA hardware would see — the fastest way to understand
-// what the synthetic substrate actually executes.
+// Command tracedump inspects visasim traces.
 //
-// Example:
+// Subcommands:
 //
-//	tracedump -benchmark mcf -skip 1000 -n 40
+//	tracedump ace    -benchmark mcf -skip 1000 -n 40
+//	    print a window of a benchmark's committed instruction stream with
+//	    its ground-truth ACE classification and per-PC tag
+//	tracedump show   -in cell.vdt [-ndjson] [-measured]
+//	    decode and pretty-print a recorded decision trace
+//	tracedump diff   a.vdt b.vdt
+//	    compare two decision traces: event divergence and summary deltas
+//	tracedump replay -in cell.vdt [-counterfactual-k K] [-out alt.vdt]
+//	    re-run the recorded cell, untouched (K=0, byte-identical) or with
+//	    the first K decisions flipped, and report the AVF/IPC diff
+//
+// Bare flags (no subcommand) keep their historical meaning: `tracedump
+// -benchmark mcf` is `tracedump ace -benchmark mcf`.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-
-	"visasim/internal/ace"
-	"visasim/internal/core"
-	"visasim/internal/trace"
-	"visasim/internal/workload"
+	"strings"
 )
 
 func main() {
-	var (
-		bench = flag.String("benchmark", "gcc", "benchmark to trace")
-		skip  = flag.Uint64("skip", 0, "instructions to skip before printing")
-		n     = flag.Uint64("n", 50, "instructions to print")
-	)
-	flag.Parse()
-
-	b, err := workload.Get(*bench)
-	if err != nil {
-		fatal(err)
+	args := os.Args[1:]
+	cmd := "ace"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
 	}
-	prof, err := core.ProfileFor(b, *skip+*n+1024, ace.DefaultWindow)
-	if err != nil {
-		fatal(err)
-	}
-	prog, err := b.Generate()
-	if err != nil {
-		fatal(err)
-	}
-	prof.Apply(prog)
-
-	exec := trace.NewExecutor(prog, b.Params.Seed, 0)
-	var d trace.DynInst
-	for i := uint64(0); i < *skip; i++ {
-		exec.Next(&d)
-	}
-	fmt.Printf("%-8s %-6s %-5s %-42s %-18s %s\n",
-		"seq", "truth", "tag", "instruction", "address", "control")
-	for i := uint64(0); i < *n; i++ {
-		exec.Next(&d)
-		truth := "unACE"
-		if d.Seq < prof.Bits.Len() && prof.Bits.Get(d.Seq) {
-			truth = "ACE"
-		}
-		tag := "-"
-		if d.Static.ACETag {
-			tag = "ACE"
-		}
-		addr := ""
-		if d.Static.Kind.IsMem() {
-			addr = fmt.Sprintf("%#x", d.Addr)
-		}
-		ctl := ""
-		if d.Static.Kind.IsControl() {
-			if d.Taken {
-				ctl = fmt.Sprintf("taken -> %#x", d.NextPC)
-			} else {
-				ctl = "not taken"
-			}
-		}
-		fmt.Printf("%-8d %-6s %-5s %-42v %-18s %s\n", d.Seq, truth, tag, d.Static, addr, ctl)
+	switch cmd {
+	case "ace":
+		cmdACE(args)
+	case "show":
+		cmdShow(args)
+	case "diff":
+		cmdDiff(args)
+	case "replay":
+		cmdReplay(args)
+	default:
+		fmt.Fprintf(os.Stderr, "tracedump: unknown subcommand %q (want ace, show, diff or replay)\n", cmd)
+		os.Exit(2)
 	}
 }
 

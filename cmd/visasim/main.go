@@ -35,6 +35,8 @@ func main() {
 		intervals  = flag.Bool("intervals", false, "print per-interval statistics")
 		jsonOut    = flag.Bool("json", false, "emit the full result as JSON instead of text")
 		cfgPath    = flag.String("config", "", "machine configuration JSON file (default: the paper's machine)")
+		traceLvl   = flag.Int("trace-level", 0, "record a decision trace: 0 off, 1 decision edges, 2 adds per-sample observations")
+		traceOut   = flag.String("trace-out", "", "decision trace output file (default decisions.vdt when -trace-level > 0)")
 	)
 	flag.Parse()
 
@@ -83,9 +85,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "MaxIQ_AVF %.4f → target %.4f\n", b.MaxIQAVF, cfg.DVMTarget)
 	}
 
-	res, err := core.Run(cfg)
+	res, tr, err := core.RunTraced(cfg, core.RunOptions{TraceLevel: *traceLvl})
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		path := *traceOut
+		if path == "" {
+			path = "decisions.vdt"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Encode(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "decision trace: %d events → %s (inspect with `tracedump show -in %s`)\n",
+			len(tr.Events), path, path)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -1,6 +1,7 @@
 package visasim
 
 import (
+	"bytes"
 	"encoding/json"
 	"reflect"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"visasim/internal/harness"
 	"visasim/internal/inject"
 	"visasim/internal/pipeline"
+	"visasim/internal/replay"
 	"visasim/internal/trace"
 	"visasim/internal/uarch"
 	"visasim/internal/workload"
@@ -74,6 +76,100 @@ func TestHarnessWorkerCountInvariance(t *testing.T) {
 	for key, want := range a {
 		if got := b[key]; got != want {
 			t.Errorf("cell %s differs across worker counts\nserial:   %s\nparallel: %s", key, want, got)
+		}
+	}
+}
+
+// encodeTraces reduces a traces map to canonical per-key bytes.
+func encodeTraces(t *testing.T, traces harness.Traces) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(traces))
+	for key, tr := range traces {
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("encoding trace %s: %v", key, err)
+		}
+		out[key] = buf.String()
+	}
+	return out
+}
+
+// TestTracingDoesNotPerturbResults runs the determinism batch untraced and
+// traced at the verbose level: results must be byte-identical. This is the
+// observation-only guarantee that lets TraceLevel stay out of Config.Hash.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	cells := determinismCells()
+	plain, err := harness.Run(cells, harness.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, _, traces, err := harness.RunTraced(cells, harness.Options{TraceLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serializeBatch(t, plain), serializeBatch(t, traced)
+	for key, want := range a {
+		if got := b[key]; got != want {
+			t.Errorf("cell %s: traced result differs from untraced\nuntraced: %s\ntraced:   %s", key, want, got)
+		}
+	}
+	// Every controller-bearing cell must actually have recorded something.
+	for _, key := range []string{"opt2", "dvm"} {
+		if tr := traces[key]; tr == nil || len(tr.Events) == 0 {
+			t.Errorf("cell %s recorded no decision events", key)
+		}
+	}
+}
+
+// TestReplayDeterminismMatrix is the replay pin: traces recorded under
+// different worker schedules are byte-identical, and an untouched replay of
+// each — reconstructed purely from the trace's embedded config — reproduces
+// both the result and the trace byte-for-byte.
+func TestReplayDeterminismMatrix(t *testing.T) {
+	cells := determinismCells()
+	res1, _, traces1, err := harness.RunTraced(cells, harness.Options{Workers: 1, TraceLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, tracesN, err := harness.RunTraced(cells, harness.Options{Workers: runtime.GOMAXPROCS(0), TraceLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, encN := encodeTraces(t, traces1), encodeTraces(t, tracesN)
+	if len(enc1) != len(encN) {
+		t.Fatalf("trace counts differ: %d serial vs %d parallel", len(enc1), len(encN))
+	}
+	for key, want := range enc1 {
+		if got := encN[key]; got != want {
+			t.Errorf("cell %s: trace differs across worker counts", key)
+		}
+	}
+
+	for key, tr := range traces1 {
+		if len(tr.Events) == 0 {
+			continue // controller-less cells have nothing to replay against
+		}
+		replayRes, replayTr, err := replay.Replay(tr, nil)
+		if err != nil {
+			t.Fatalf("replaying %s: %v", key, err)
+		}
+		wantRes, err := json.Marshal(res1[key])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRes, err := json.Marshal(replayRes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wantRes) != string(gotRes) {
+			t.Errorf("cell %s: untouched replay changed the result", key)
+		}
+		var buf bytes.Buffer
+		if err := replayTr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != enc1[key] {
+			t.Errorf("cell %s: untouched replay changed the trace encoding", key)
 		}
 	}
 }

@@ -17,12 +17,14 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 
 	"visasim/internal/ace"
 	"visasim/internal/alloc"
 	"visasim/internal/config"
+	"visasim/internal/decision"
 	"visasim/internal/dvm"
 	"visasim/internal/pipeline"
 	"visasim/internal/trace"
@@ -249,9 +251,19 @@ func ProfileFor(bench workload.Benchmark, n uint64, window int) (*ace.Profile, e
 
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
+	res, _, err := RunTraced(cfg, RunOptions{})
+	return res, err
+}
+
+// RunTraced executes one simulation with decision tracing and/or a forced
+// counterfactual schedule (DESIGN.md §10). The returned trace is nil when
+// opt.TraceLevel is zero. RunOptions is deliberately separate from Config —
+// none of it joins Config.Hash, because tracing and replay must never change
+// what a content address means.
+func RunTraced(cfg Config, opt RunOptions) (*Result, *decision.Trace, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	warmup := c.Warmup
@@ -265,15 +277,15 @@ func Run(cfg Config) (*Result, error) {
 	for i, name := range c.Benchmarks {
 		b, err := workload.Get(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		prof, err := ProfileFor(b, profLen, c.ProfileWindow)
 		if err != nil {
-			return nil, fmt.Errorf("core: profiling %s: %w", name, err)
+			return nil, nil, fmt.Errorf("core: profiling %s: %w", name, err)
 		}
 		prog, err := b.Generate()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		prof.Apply(prog)
 		exec := trace.NewExecutor(prog, b.Params.Seed, i)
@@ -313,7 +325,7 @@ func Run(cfg Config) (*Result, error) {
 		ctrl = d
 	}
 
-	proc, err := pipeline.New(pipeline.Params{
+	params := pipeline.Params{
 		Machine:            *c.Machine,
 		Scheduler:          sched,
 		Policy:             c.Policy,
@@ -325,9 +337,18 @@ func Run(cfg Config) (*Result, error) {
 		OracleTags:         c.OracleTags,
 		IntervalCycles:     c.IntervalCycles,
 		InvariantEvery:     c.InvariantEvery,
-	})
+		Forced:             opt.Forced,
+	}
+	// Only assign the sink when recording: a nil *Recorder stored in the
+	// interface would read as non-nil inside the pipeline.
+	var rec *decision.Recorder
+	if opt.TraceLevel > 0 {
+		rec = decision.NewRecorder(opt.TraceLevel)
+		params.Decisions = rec
+	}
+	proc, err := pipeline.New(params)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res := proc.Run()
 
@@ -342,7 +363,63 @@ func Run(cfg Config) (*Result, error) {
 	if d, ok := ctrl.(*dvm.Controller); ok {
 		out.DVMMeanRatio = d.MeanRatio()
 	}
-	return out, nil
+
+	var tr *decision.Trace
+	if rec != nil {
+		tr = rec.Trace()
+		tr.Scheme = c.Scheme.String()
+		tr.Policy = c.Policy.String()
+		tr.Controller = controllerName(c.Scheme)
+		tr.CellKey = opt.CellKey
+		if blob, err := json.Marshal(c); err == nil {
+			tr.ConfigJSON = blob
+		}
+		if h, err := cfg.Hash(); err == nil {
+			tr.ConfigHash = h
+		}
+		tr.Summary = decision.Summary{
+			Cycles:         res.Cycles,
+			Commits:        res.TotalCommits(),
+			ThroughputIPC:  res.ThroughputIPC,
+			IQAVF:          res.IQAVF,
+			ROBAVF:         res.ROBAVF,
+			MaxIQAVF:       res.MaxIQAVF,
+			PolicySwitches: res.PolicySwitches,
+			DVMTriggers:    res.DVMTriggers,
+		}
+	}
+	return out, tr, nil
+}
+
+// RunOptions are the tracing/replay knobs of RunTraced. None of these fields
+// participate in Config.Hash — a traced run simulates the exact same machine
+// as an untraced one, and the content-addressed result cache must keep
+// treating them as the same cell.
+type RunOptions struct {
+	// TraceLevel enables decision recording: 0 off, 1 decision edges,
+	// 2 adds per-sample observations.
+	TraceLevel int
+	// Forced overlays a counterfactual schedule on the live controller
+	// (empty forces nothing, reproducing the recorded run exactly).
+	Forced decision.Schedule
+	// CellKey labels the trace with the harness/sweep cell key.
+	CellKey string
+}
+
+// controllerName names the runtime controller a scheme installs ("" when the
+// scheme runs open loop).
+func controllerName(s Scheme) string {
+	switch s {
+	case SchemeVISAOpt1:
+		return "opt1"
+	case SchemeVISAOpt2:
+		return "opt2"
+	case SchemeDVM:
+		return "dvm"
+	case SchemeDVMStatic:
+		return "dvm-static"
+	}
+	return ""
 }
 
 // RunMix is a convenience wrapper running one of Table 3's workloads.

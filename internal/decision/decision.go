@@ -1,0 +1,205 @@
+// Package decision defines the structured decision trace recorded at every
+// runtime-policy decision point of a simulation — DVM waiting-queue
+// triggers, Opt1/Opt2 allocation-cap and FLUSH-engagement choices, and
+// dispatch-gate changes — plus the forced-action schedules that replay a
+// recorded run with up to K alternative decisions (see DESIGN.md §10).
+//
+// The package is pure data: it imports nothing from the simulator, so
+// internal/pipeline can emit events through the Sink interface without an
+// import cycle. Traces are deterministic — the simulator is, and recording
+// only observes — so an untouched replay of a recorded cell reproduces both
+// the trace and the results byte-identically, which the root determinism
+// tests assert.
+package decision
+
+// Kind classifies one decision event.
+type Kind uint8
+
+// Decision-event kinds. Edge-detected kinds fire when the controller's
+// effective directive changes, not every cycle it holds, so traces stay
+// compact.
+const (
+	// KindPolicySwitch records a controller-driven fetch-policy mode
+	// change: FLUSH semantics engaging or disengaging (Opt2's response
+	// when interval L2 misses exceed Tcache_miss, or a forced override).
+	KindPolicySwitch Kind = iota
+	// KindDVMTrigger records the waiting-queue throttle engaging (DVM's
+	// response mechanism turning on).
+	KindDVMTrigger
+	// KindDVMRelease records the waiting-queue throttle releasing.
+	KindDVMRelease
+	// KindIQLCap records the dynamic allocation cap (the paper's IQL)
+	// changing, including to/from "uncapped".
+	KindIQLCap
+	// KindGate records the per-thread dispatch-gate mask changing (DVM's
+	// L2-miss response and its fewest-ACE-tags restore).
+	KindGate
+	// KindSample is a verbose (TraceLevel ≥ 2) observation emitted once
+	// per fine-grained AVF sample even when nothing changed, so replay
+	// analysis can see the inputs between decisions.
+	KindSample
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	KindPolicySwitch: "policy-switch",
+	KindDVMTrigger:   "dvm-trigger",
+	KindDVMRelease:   "dvm-release",
+	KindIQLCap:       "iql-cap",
+	KindGate:         "gate",
+	KindSample:       "sample",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(?)"
+}
+
+// Valid reports whether k is a known event kind.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Inputs is the controller-visible state snapshot at the moment of a
+// decision: the subset of the pipeline's per-cycle View that the paper's
+// control loops actually read. Everything here is a deterministic function
+// of the simulated machine, never of the wall clock.
+type Inputs struct {
+	IntervalIndex int32 `json:"interval"`
+	SampleIndex   int32 `json:"sample"`
+
+	// Issue-queue occupancy split from the per-cycle census.
+	IQLen      int32 `json:"iq_len"`
+	ReadyLen   int32 `json:"ready_len"`
+	WaitingLen int32 `json:"waiting_len"`
+
+	// Previous-interval statistics (what Opt1/Opt2 decide from).
+	PrevIPC          float64 `json:"prev_ipc"`
+	PrevMeanReadyLen float64 `json:"prev_rql"`
+	PrevL2Misses     uint64  `json:"prev_l2"`
+
+	// Online tag-AVF estimates (what DVM's counter hardware decides from).
+	SampleAVF   float64 `json:"sample_avf"`
+	IntervalAVF float64 `json:"interval_avf"`
+}
+
+// Action is the chosen (or forced) directive. It mirrors the pipeline's
+// Decision in plain portable fields: negative caps mean "no cap", GateMask
+// has one bit per thread.
+type Action struct {
+	IQLCap     int32 `json:"iql_cap"`
+	WaitingCap int32 `json:"waiting_cap"`
+	UseFlush   bool  `json:"use_flush"`
+	GateMask   uint8 `json:"gate_mask"`
+}
+
+// Event is one recorded decision.
+type Event struct {
+	Cycle  uint64 `json:"cycle"`
+	Kind   Kind   `json:"-"`
+	Forced bool   `json:"forced,omitempty"` // a replay override produced this action
+	Inputs Inputs `json:"inputs"`
+	Action Action `json:"action"`
+}
+
+// Summary pins the headline results of the run that produced a trace, so a
+// trace file is self-contained for diffing: `tracedump diff` reports
+// AVF/IPC deltas without re-opening the result objects.
+type Summary struct {
+	Cycles        uint64  `json:"cycles"`
+	Commits       uint64  `json:"commits"`
+	ThroughputIPC float64 `json:"throughput_ipc"`
+	IQAVF         float64 `json:"iq_avf"`
+	ROBAVF        float64 `json:"rob_avf"`
+	MaxIQAVF      float64 `json:"max_iq_avf"`
+
+	PolicySwitches uint64 `json:"policy_switches"`
+	DVMTriggers    uint64 `json:"dvm_triggers"`
+}
+
+// Trace is a full recorded decision trace: provenance, the event stream,
+// and the run's result summary. ConfigJSON holds the canonical core.Config
+// encoding so a replayer can rebuild the exact cell from the trace alone;
+// decision itself treats it as opaque bytes.
+type Trace struct {
+	// Controller names the scheme's controller ("" when the scheme runs
+	// no controller); Scheme and Policy echo the cell configuration.
+	Controller string
+	Scheme     string
+	Policy     string
+	// CellKey is the harness/sweep cell key the trace was recorded under
+	// ("" for single runs).
+	CellKey string
+	// ConfigHash is core.Config.Hash() of the recorded cell — the same
+	// content address the result cache uses. TraceLevel is deliberately
+	// not part of that hash: tracing must never change what is simulated.
+	ConfigHash string
+	// ConfigJSON is the canonical core.Config JSON (opaque here).
+	ConfigJSON []byte
+	// Level is the TraceLevel the trace was recorded at.
+	Level int
+	// MeasureStart is the absolute cycle statistics collection began
+	// (after warmup); events before it happened during warmup.
+	MeasureStart uint64
+
+	Events  []Event
+	Summary Summary
+}
+
+// EventsFrom returns the events at or after cycle (e.g. the measured
+// region's events via EventsFrom(tr.MeasureStart)).
+func (t *Trace) EventsFrom(cycle uint64) []Event {
+	for i, ev := range t.Events {
+		if ev.Cycle >= cycle {
+			return t.Events[i:]
+		}
+	}
+	return nil
+}
+
+// Sink receives decision events during a run. The pipeline calls it
+// synchronously from the simulation goroutine; implementations must not
+// feed anything back into the simulation — recording is observation only.
+type Sink interface {
+	// Level is the trace level the sink wants: 1 records decision edges,
+	// 2 additionally records per-sample observations (KindSample).
+	Level() int
+	// Record receives one event. Events arrive in nondecreasing cycle
+	// order.
+	Record(Event)
+	// MeasureStart is called when statistics collection begins (at the
+	// warmup boundary), with the absolute cycle.
+	MeasureStart(cycle uint64)
+}
+
+// Recorder is the standard Sink: it accumulates events in memory.
+type Recorder struct {
+	level        int
+	measureStart uint64
+	events       []Event
+}
+
+// NewRecorder returns a Recorder at the given trace level (values below 1
+// are clamped to 1 — a level-0 run should pass no sink at all).
+func NewRecorder(level int) *Recorder {
+	if level < 1 {
+		level = 1
+	}
+	return &Recorder{level: level}
+}
+
+// Level implements Sink.
+func (r *Recorder) Level() int { return r.level }
+
+// Record implements Sink.
+func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }
+
+// MeasureStart implements Sink.
+func (r *Recorder) MeasureStart(cycle uint64) { r.measureStart = cycle }
+
+// Trace returns the accumulated trace skeleton (events, level, measure
+// start); the caller fills provenance and the result summary.
+func (r *Recorder) Trace() *Trace {
+	return &Trace{Level: r.level, MeasureStart: r.measureStart, Events: r.events}
+}

@@ -1,0 +1,55 @@
+package decision
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeRoundTrip feeds arbitrary bytes to Decode, registered alongside
+// the ace-profile and machine-config fuzzers. Decode must never panic;
+// whenever it accepts an input, re-encoding the decoded trace and decoding
+// it again must reproduce it exactly — the property the golden-trace and
+// replay machinery rely on — and every rejection must wrap ErrCorrupt so
+// callers can distinguish bad bytes from I/O failures.
+func FuzzDecodeRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	if err := testTrace().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	empty := &Trace{}
+	var seedEmpty bytes.Buffer
+	if err := empty.Encode(&seedEmpty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedEmpty.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("VSDT"))
+	f.Add([]byte("not a decision trace"))
+	truncated := seed.Bytes()
+	f.Add(truncated[:len(truncated)/2])
+	f.Add(append(append([]byte{}, seed.Bytes()...), 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := tr.Encode(&out); err != nil {
+			t.Fatalf("re-encoding an accepted trace: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding an encoded trace: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("round trip changed the trace:\n got %+v\nwant %+v", tr2, tr)
+		}
+	})
+}

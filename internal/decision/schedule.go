@@ -1,0 +1,109 @@
+package decision
+
+import "sort"
+
+// Force field masks: which Action fields a Force overrides. Unmasked fields
+// keep whatever the live controller decided.
+const (
+	ForceIQLCap uint8 = 1 << iota
+	ForceWaitingCap
+	ForceUseFlush
+	ForceGates
+)
+
+// Force overrides part of the controller's decision on every cycle of
+// [From, Until). The window matters: the paper's control loops re-decide
+// every cycle, so a single-cycle override would be re-decided away one
+// cycle later; a counterfactual must hold its alternative until the next
+// recorded decision point to be measurable.
+type Force struct {
+	From  uint64 `json:"from"`
+	Until uint64 `json:"until"` // exclusive; use Forever for "rest of run"
+	Mask  uint8  `json:"mask"`
+	// Action supplies the forced field values (only Mask-selected fields
+	// are consulted).
+	Action Action `json:"action"`
+}
+
+// Forever is the open upper bound for a Force window.
+const Forever = ^uint64(0)
+
+// activeAt reports whether the force covers cycle.
+func (f *Force) activeAt(cycle uint64) bool {
+	return cycle >= f.From && cycle < f.Until
+}
+
+// Schedule is a forced-action schedule: the `-counterfactual-k` replay
+// mechanism. An empty (or nil) schedule forces nothing — that replay must
+// reproduce the recorded run byte-identically.
+type Schedule []Force
+
+// Normalize sorts the forces by window start so application order (later
+// forces win on overlap) is deterministic regardless of construction order.
+func (s Schedule) Normalize() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].From < s[j].From })
+}
+
+// OverridesAt merges every force active at cycle (later forces in the
+// schedule win per field) and reports whether any applied.
+func (s Schedule) OverridesAt(cycle uint64) (Action, uint8, bool) {
+	var act Action
+	var mask uint8
+	for i := range s {
+		f := &s[i]
+		if !f.activeAt(cycle) {
+			continue
+		}
+		if f.Mask&ForceIQLCap != 0 {
+			act.IQLCap = f.Action.IQLCap
+		}
+		if f.Mask&ForceWaitingCap != 0 {
+			act.WaitingCap = f.Action.WaitingCap
+		}
+		if f.Mask&ForceUseFlush != 0 {
+			act.UseFlush = f.Action.UseFlush
+		}
+		if f.Mask&ForceGates != 0 {
+			act.GateMask = f.Action.GateMask
+		}
+		mask |= f.Mask
+	}
+	return act, mask, mask != 0
+}
+
+// Alternative builds the canonical counterfactual for a recorded event: the
+// "what if the policy had decided the other way" force, held from the
+// event's cycle until `until` (typically the next recorded decision, or
+// Forever for the last one):
+//
+//   - policy-switch: invert the FLUSH engagement;
+//   - dvm-trigger:   suppress the waiting-queue cap (no throttle);
+//   - dvm-release:   keep throttling at the tightest cap instead;
+//   - iql-cap:       lift the allocation cap;
+//   - gate:          do not gate any thread's dispatch.
+//
+// Sample events are observations, not decisions; Alternative returns
+// ok=false for them (and for unknown kinds).
+func Alternative(ev Event, until uint64) (Force, bool) {
+	f := Force{From: ev.Cycle, Until: until}
+	switch ev.Kind {
+	case KindPolicySwitch:
+		f.Mask = ForceUseFlush
+		f.Action.UseFlush = !ev.Action.UseFlush
+	case KindDVMTrigger:
+		f.Mask = ForceWaitingCap
+		f.Action.WaitingCap = -1
+	case KindDVMRelease:
+		f.Mask = ForceWaitingCap
+		f.Action.WaitingCap = 1
+	case KindIQLCap:
+		f.Mask = ForceIQLCap
+		f.Action.IQLCap = -1
+	case KindGate:
+		f.Mask = ForceGates
+		f.Action.GateMask = 0
+	default:
+		return Force{}, false
+	}
+	return f, true
+}

@@ -1,6 +1,7 @@
 package dvm
 
 import (
+	"math"
 	"testing"
 
 	"visasim/internal/pipeline"
@@ -164,6 +165,108 @@ func TestStaticRatioFrozen(t *testing.T) {
 	}
 	if c.Name() != "dvm-static" || New(0.1).Name() != "dvm" {
 		t.Fatal("names wrong")
+	}
+}
+
+// TestTriggerThresholdBoundary pins the strict inequalities around the
+// trigger (0.9 × target): a sample exactly AT the trigger is below the
+// emergency (ratio recovers, no throttle), and only strictly above it does
+// the ratio cut and the waiting cap engage. Off-by-one drift here changes
+// when every DVM response in the simulator fires.
+func TestTriggerThresholdBoundary(t *testing.T) {
+	const target = 0.4
+	trig := New(target).trigger()
+
+	// Exactly at trigger: `sample > trigger` is false → slow increase path
+	// (clamped at MaxRatio here), and `soFar > trigger` is false → no cap.
+	c := New(target)
+	v := baseView()
+	v.SampleIndex = 1
+	v.SampleAVFTag = trig
+	v.IntervalAVFTagSoFar = trig
+	d := c.Decide(v)
+	if c.Ratio() != MaxRatio {
+		t.Fatalf("ratio cut at exactly the trigger: %v", c.Ratio())
+	}
+	if d.WaitingCap >= 0 {
+		t.Fatalf("waiting cap %d engaged at exactly the trigger", d.WaitingCap)
+	}
+
+	// The smallest float strictly above: both responses engage.
+	c = New(target)
+	v = baseView()
+	v.SampleIndex = 1
+	above := math.Nextafter(trig, 1)
+	v.SampleAVFTag = above
+	v.IntervalAVFTagSoFar = above
+	d = c.Decide(v)
+	if c.Ratio() >= MaxRatio {
+		t.Fatalf("ratio %v not cut just above the trigger", c.Ratio())
+	}
+	if d.WaitingCap < 0 {
+		t.Fatal("waiting cap not engaged just above the trigger")
+	}
+}
+
+// TestROBStructureUsesROBEstimates pins the ROB extension's input selection:
+// a StructROB controller must decide from the ROB tag-AVF estimates and
+// ignore the IQ ones.
+func TestROBStructureUsesROBEstimates(t *testing.T) {
+	c := New(0.4)
+	c.Struct = StructROB
+	v := baseView()
+	v.SampleIndex = 1
+	v.SampleAVFTag = 0.9        // IQ estimate screams emergency...
+	v.IntervalAVFTagSoFar = 0.9 // ...but the managed structure is the ROB
+	v.SampleROBAVFTag = 0.0
+	v.IntervalROBAVFTagSoFar = 0.0
+	d := c.Decide(v)
+	if c.Ratio() != MaxRatio {
+		t.Fatalf("ROB controller reacted to IQ estimates (ratio %v)", c.Ratio())
+	}
+	if d.WaitingCap >= 0 {
+		t.Fatal("ROB controller throttled on IQ estimates")
+	}
+
+	v.SampleIndex = 2
+	v.SampleROBAVFTag = 0.9
+	v.IntervalROBAVFTagSoFar = 0.9
+	d = c.Decide(v)
+	if c.Ratio() >= MaxRatio {
+		t.Fatal("ROB controller ignored ROB emergency")
+	}
+	if d.WaitingCap < 0 {
+		t.Fatal("ROB controller did not throttle on ROB emergency")
+	}
+	if StructROB.String() != "rob" || StructIQ.String() != "iq" {
+		t.Fatal("structure names wrong")
+	}
+}
+
+// TestWaitingCapClamps pins the cap's bounds: at least 1, at most IQSize.
+func TestWaitingCapClamps(t *testing.T) {
+	c := New(0.4)
+	v := baseView()
+	v.SampleIndex = 1
+	v.SampleAVFTag = 0.9
+	v.IntervalAVFTagSoFar = 0.9
+	v.ReadyLen = 0 // ratio × max(ready,1) after heavy cuts → floor of 1
+	for i := 1; i <= 20; i++ {
+		v.SampleIndex = i
+		v.Cycle += RatioComputeCycles
+		if d := c.Decide(v); d.WaitingCap < 1 {
+			t.Fatalf("waiting cap %d below floor", d.WaitingCap)
+		}
+	}
+
+	c = New(0.4)
+	v = baseView()
+	v.SampleIndex = 1
+	v.SampleAVFTag = 0.37 // just above trigger: one mild cut, ratio stays high
+	v.IntervalAVFTagSoFar = 0.37
+	v.ReadyLen = 96 // MaxRatio × 96 ≫ IQSize
+	if d := c.Decide(v); d.WaitingCap > v.IQSize {
+		t.Fatalf("waiting cap %d above IQ size %d", d.WaitingCap, v.IQSize)
 	}
 }
 

@@ -11,8 +11,10 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"visasim/internal/core"
+	"visasim/internal/decision"
 	"visasim/internal/harness"
 	"visasim/internal/pipeline"
 	"visasim/internal/workload"
@@ -31,16 +33,41 @@ type Params struct {
 	// cmd/experiments -server points it at a server.Client so sweeps
 	// execute on — and populate the result cache of — a visasimd daemon.
 	Runner func(cells []harness.Cell, opt harness.Options) (harness.Results, error)
+
+	// TraceLevel records a per-cell decision trace for every sweep cell
+	// (see core.RunOptions.TraceLevel). Traces are delivered to TraceSink
+	// as cells finish; tracing never changes results. Only the local
+	// harness path records — a custom Runner receives the level through
+	// harness.Options and may ignore it.
+	TraceLevel int
+	// TraceSink receives each recorded (cell key, trace) pair. Ignored
+	// when nil or TraceLevel is 0.
+	TraceSink func(key string, tr *decision.Trace)
 }
 
 // run executes one sweep through the configured runner (harness.Run when
 // none is set). Every experiment goes through this seam.
 func (p Params) run(cells []harness.Cell) (harness.Results, error) {
-	opt := harness.Options{Workers: p.Workers}
+	opt := harness.Options{Workers: p.Workers, TraceLevel: p.TraceLevel}
 	if p.Runner != nil {
 		return p.Runner(cells, opt)
 	}
-	return harness.Run(cells, opt)
+	res, _, traces, err := harness.RunTraced(cells, opt)
+	if err != nil {
+		return nil, err
+	}
+	if p.TraceSink != nil {
+		// Deterministic delivery order regardless of worker schedule.
+		keys := make([]string, 0, len(traces))
+		for k := range traces {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p.TraceSink(k, traces[k])
+		}
+	}
+	return res, nil
 }
 
 // DefaultBudget is the default per-run instruction budget.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"visasim/internal/core"
+	"visasim/internal/decision"
 )
 
 // Cell is one simulation in a sweep.
@@ -27,6 +28,10 @@ type Cell struct {
 
 // Results maps cell keys to simulation results.
 type Results map[string]*core.Result
+
+// Traces maps cell keys to recorded decision traces (present only for
+// batches run with Options.TraceLevel > 0).
+type Traces map[string]*decision.Trace
 
 // CellStats records one cell's simulator cost: how long the simulation
 // took and how fast the simulated machine advanced. Seconds covers only
@@ -82,6 +87,11 @@ type Options struct {
 	// daemon attaches the sweep correlation ID), so profiles attribute
 	// CPU time per sweep and per cell.
 	Labels map[string]string
+	// TraceLevel enables per-cell decision recording (see
+	// core.RunOptions.TraceLevel). It never affects results: tracing is
+	// observation only, and the field is not part of any cell's
+	// content-address hash.
+	TraceLevel int
 }
 
 // CellError reports which cell of a batch failed and why. It is the
@@ -126,6 +136,15 @@ func Run(cells []Cell, opt Options) (Results, error) {
 // RunStats is Run plus per-cell wall-clock and throughput records, so
 // sweeps can report where the simulation budget went.
 func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
+	res, stats, _, err := RunTraced(cells, opt)
+	return res, stats, err
+}
+
+// RunTraced is RunStats plus the per-cell decision traces recorded when
+// opt.TraceLevel > 0 (the Traces map is empty otherwise). The parallel
+// schedule never affects traces: every cell records in its own goroutine
+// from its own deterministic simulation.
+func RunTraced(cells []Cell, opt Options) (Results, Stats, Traces, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -134,17 +153,17 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 		workers = len(cells)
 	}
 	if err := ValidateKeys(cells); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	if opt.CPUProfile != "" {
 		f, err := os.Create(opt.CPUProfile)
 		if err != nil {
-			return nil, nil, fmt.Errorf("harness: %w", err)
+			return nil, nil, nil, fmt.Errorf("harness: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			f.Close()
-			return nil, nil, fmt.Errorf("harness: %w", err)
+			return nil, nil, nil, fmt.Errorf("harness: %w", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -156,6 +175,7 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 		mu       sync.Mutex
 		results  = make(Results, len(cells))
 		stats    = make(Stats, len(cells))
+		traces   = make(Traces)
 		firstErr error
 	)
 	// Stable extra-label ordering so profiles of identical batches carry
@@ -185,6 +205,7 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 					kv = append(kv, k, opt.Labels[k])
 				}
 				var res *core.Result
+				var tr *decision.Trace
 				var err error
 				t0 := time.Now()
 				// Label the simulation goroutine so CPU profiles
@@ -192,7 +213,10 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 				// cell — and, through opt.Labels, to the sweep — that
 				// spent them.
 				pprof.Do(context.Background(), pprof.Labels(kv...), func(context.Context) {
-					res, err = core.Run(c.Cfg)
+					res, tr, err = core.RunTraced(c.Cfg, core.RunOptions{
+						TraceLevel: opt.TraceLevel,
+						CellKey:    c.Key,
+					})
 				})
 				elapsed := time.Since(t0)
 				mu.Lock()
@@ -202,6 +226,9 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 					}
 				} else {
 					results[c.Key] = res
+					if tr != nil {
+						traces[c.Key] = tr
+					}
 					st := CellStats{
 						Seconds:      elapsed.Seconds(),
 						Cycles:       res.Cycles,
@@ -230,7 +257,7 @@ func RunStats(cells []Cell, opt Options) (Results, Stats, error) {
 	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
-		return nil, nil, firstErr
+		return nil, nil, nil, firstErr
 	}
-	return results, stats, nil
+	return results, stats, traces, nil
 }

@@ -18,6 +18,7 @@ import (
 	"visasim/internal/branch"
 	"visasim/internal/cache"
 	"visasim/internal/config"
+	"visasim/internal/decision"
 	"visasim/internal/program"
 	"visasim/internal/stats"
 	"visasim/internal/trace"
@@ -61,6 +62,16 @@ type Params struct {
 	// long-running tests sample (e.g. every few thousand cycles) so the
 	// fast-path bookkeeping stays validated without O(n) work per cycle.
 	InvariantEvery uint64
+	// Decisions, when non-nil, receives a decision.Event at every
+	// edge-detected policy decision (DVM triggers, allocation-cap and
+	// FLUSH-engagement changes, dispatch-gate changes; see decisions.go).
+	// Recording is observation only: attaching a sink never changes the
+	// simulated machine.
+	Decisions decision.Sink
+	// Forced is the counterfactual-replay override schedule; empty forces
+	// nothing. Overrides are applied after the live controller decides,
+	// so a replayed run re-decides everything else exactly as recorded.
+	Forced decision.Schedule
 }
 
 // Processor is the simulated SMT core.
@@ -77,6 +88,12 @@ type Processor struct {
 	pol   *policyState
 	ctrl  Controller
 	dec   Decision
+
+	// Decision tracing and forced replay (see decisions.go). decForced
+	// flags that this cycle's decision carries schedule overrides.
+	sink      decision.Sink
+	forced    decision.Schedule
+	decForced bool
 
 	budget
 
@@ -149,6 +166,9 @@ type Processor struct {
 	dvmTriggers     uint64
 	prevUseFlush    bool
 	prevWaitCapped  bool
+	recPrevIQLCap   int
+	recPrevGate     uint8
+	recPrevSample   int
 	ivStartOcc      uint64
 	ivStartSwitches uint64
 	ivStartTriggers uint64
@@ -197,6 +217,8 @@ func New(p Params) (*Processor, error) {
 		pol:    newPolicyState(p.Policy),
 		ctrl:   p.Controller,
 		dec:    NoDecision(),
+		sink:   p.Decisions,
+		forced: p.Forced,
 		iqTrue: avf.NewAccumulator(m.IQSize, avf.IQEntryBits),
 		iqTag:  avf.NewAccumulator(m.IQSize, avf.IQEntryBits),
 		robAcc: avf.NewAccumulator(n*m.ROBSize, avf.ROBEntryBits),
@@ -228,6 +250,7 @@ func New(p Params) (*Processor, error) {
 		proc.sampleCycles = 1
 	}
 	proc.invariantEvery = p.InvariantEvery
+	proc.recPrevIQLCap = proc.dec.IQLCap
 	return proc, nil
 }
 
@@ -318,6 +341,12 @@ func (p *Processor) ResetStats() {
 	p.policySwitches, p.dvmTriggers = 0, 0
 	p.prevUseFlush = p.dec.UseFlush
 	p.prevWaitCapped = p.dec.WaitingCap >= 0
+	p.recPrevIQLCap = p.dec.IQLCap
+	p.recPrevGate = gateMask(&p.dec, p.n)
+	p.recPrevSample = 0
+	if p.sink != nil {
+		p.sink.MeasureStart(p.cycle)
+	}
 	p.ivStartOcc, p.ivStartSwitches, p.ivStartTriggers = 0, 0, 0
 
 	p.intervals = nil
@@ -340,22 +369,20 @@ func (p *Processor) Step() {
 	p.commit(now)
 	p.complete(now)
 	p.census = p.iq.Census()
+	var v View
+	haveView := false
 	if p.ctrl != nil {
-		v := p.view(now)
+		v = p.view(now)
+		haveView = true
 		p.dec = p.ctrl.Decide(&v)
 	} else {
 		p.dec = NoDecision()
 	}
-	if p.dec.UseFlush != p.prevUseFlush {
-		p.policySwitches++
-		p.prevUseFlush = p.dec.UseFlush
+	p.decForced = false
+	if len(p.forced) > 0 {
+		p.decForced = p.applyForced(now)
 	}
-	if capped := p.dec.WaitingCap >= 0; capped != p.prevWaitCapped {
-		if capped {
-			p.dvmTriggers++
-		}
-		p.prevWaitCapped = capped
-	}
+	p.noteDecision(now, &v, haveView)
 	p.issue(now)
 	p.processFlushes(now)
 	p.dispatch(now)

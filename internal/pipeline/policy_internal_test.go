@@ -80,6 +80,51 @@ func TestUseFlushOverridesAnyPolicy(t *testing.T) {
 	}
 }
 
+// TestUseFlushComposesWithGatingPolicies pins the override's composition:
+// useFlush adds L2/flush-stall gating on top of the base policy without
+// displacing the base condition. A DG thread with only an L1D miss stays
+// gated by DG even under useFlush; a DG thread with only an L2 miss is
+// gated only when useFlush engages.
+func TestUseFlushComposesWithGatingPolicies(t *testing.T) {
+	cases := []struct {
+		name string
+		kind FetchPolicyKind
+		th   thread
+		want bool
+	}{
+		{"dg-l1d-only", PolicyDG, thread{outstandingL1D: 1}, true},
+		{"dg-l2-only", PolicyDG, thread{outstandingL2: 1}, true},
+		{"dg-clean", PolicyDG, thread{}, false},
+		{"pdg-inflight-only", PolicyPDG, thread{pdgInFlight: 1}, true},
+		{"pdg-l2-only", PolicyPDG, thread{outstandingL2: 1}, true},
+		{"pdg-clean", PolicyPDG, thread{}, false},
+		{"stall-flushstall", PolicySTALL, thread{flushStall: true}, true},
+		{"icount-flushstall", PolicyICOUNT, thread{flushStall: true}, true},
+	}
+	for _, c := range cases {
+		ps := newPolicyState(c.kind)
+		th := c.th
+		if got := ps.gated(&th, true); got != c.want {
+			t.Errorf("%s under useFlush: gated=%v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFlushOnL2MissPerPolicy pins which policies squash behind a missing
+// load: only FLUSH itself, or any policy once the opt2/DVM override engages.
+func TestFlushOnL2MissPerPolicy(t *testing.T) {
+	for _, kind := range AllPolicies() {
+		ps := newPolicyState(kind)
+		wantBase := kind == PolicyFLUSH
+		if got := ps.flushOnL2Miss(false); got != wantBase {
+			t.Errorf("%v: flushOnL2Miss(false)=%v want %v", kind, got, wantBase)
+		}
+		if !ps.flushOnL2Miss(true) {
+			t.Errorf("%v: useFlush must force flush-on-miss", kind)
+		}
+	}
+}
+
 func TestPolicyNames(t *testing.T) {
 	want := map[FetchPolicyKind]string{
 		PolicyICOUNT: "ICOUNT", PolicySTALL: "STALL", PolicyFLUSH: "FLUSH",

@@ -1,0 +1,167 @@
+// Package replay re-runs recorded simulations from their decision traces
+// (DESIGN.md §10). A trace carries the canonical core.Config it was recorded
+// from, so a replayer needs nothing but the trace file: an untouched replay
+// reconstructs the cell and reproduces both the results and the trace
+// byte-identically (the simulator is deterministic and recording is
+// observation only), and a counterfactual replay overlays a forced-action
+// schedule that flips up to K recorded decisions and measures the AVF/IPC
+// consequences.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"visasim/internal/core"
+	"visasim/internal/decision"
+)
+
+// Record runs cfg with decision tracing at the given level (clamped to ≥ 1)
+// and returns the result alongside the recorded trace.
+func Record(cfg core.Config, level int, cellKey string) (*core.Result, *decision.Trace, error) {
+	if level < 1 {
+		level = 1
+	}
+	return core.RunTraced(cfg, core.RunOptions{TraceLevel: level, CellKey: cellKey})
+}
+
+// ConfigFromTrace rebuilds the simulation configuration recorded in the
+// trace. The embedded JSON is the canonical form, so the rebuilt Config
+// hashes to the trace's ConfigHash; a mismatch means the trace was recorded
+// by an incompatible build and is rejected.
+func ConfigFromTrace(tr *decision.Trace) (core.Config, error) {
+	var cfg core.Config
+	if len(tr.ConfigJSON) == 0 {
+		return cfg, fmt.Errorf("replay: trace carries no configuration")
+	}
+	if err := json.Unmarshal(tr.ConfigJSON, &cfg); err != nil {
+		return cfg, fmt.Errorf("replay: decoding trace config: %w", err)
+	}
+	if tr.ConfigHash != "" {
+		h, err := cfg.Hash()
+		if err != nil {
+			return cfg, fmt.Errorf("replay: hashing trace config: %w", err)
+		}
+		if h != tr.ConfigHash {
+			return cfg, fmt.Errorf("replay: trace config hash %s does not match recorded %s (incompatible build?)",
+				h, tr.ConfigHash)
+		}
+	}
+	return cfg, nil
+}
+
+// Replay re-runs the cell recorded in tr under the given forced schedule,
+// re-recording at the trace's own level. An empty schedule is the untouched
+// replay: its result and trace reproduce the originals byte-identically,
+// which the determinism suite asserts.
+func Replay(tr *decision.Trace, forced decision.Schedule) (*core.Result, *decision.Trace, error) {
+	cfg, err := ConfigFromTrace(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	level := tr.Level
+	if level < 1 {
+		level = 1
+	}
+	return core.RunTraced(cfg, core.RunOptions{
+		TraceLevel: level,
+		Forced:     forced,
+		CellKey:    tr.CellKey,
+	})
+}
+
+// CounterfactualSchedule builds the forced schedule that flips the first k
+// measured-region decisions of tr to their canonical alternatives
+// (decision.Alternative). Each force holds until the next flipped decision's
+// cycle — the last one holds forever — so the alternative stays in effect
+// long enough to be measurable instead of being re-decided away on the next
+// cycle. Sample events carry no alternative and are skipped. The returned
+// schedule may hold fewer than k forces (or be empty) when the trace has
+// fewer flippable decisions.
+func CounterfactualSchedule(tr *decision.Trace, k int) decision.Schedule {
+	var sched decision.Schedule
+	for _, ev := range tr.EventsFrom(tr.MeasureStart) {
+		if len(sched) == k {
+			break
+		}
+		f, ok := decision.Alternative(ev, decision.Forever)
+		if !ok {
+			continue
+		}
+		if n := len(sched); n > 0 {
+			sched[n-1].Until = f.From
+		}
+		sched = append(sched, f)
+	}
+	sched.Normalize()
+	return sched
+}
+
+// Diff is the per-metric delta of a counterfactual replay (alternative minus
+// baseline).
+type Diff struct {
+	DCycles         int64   `json:"d_cycles"`
+	DCommits        int64   `json:"d_commits"`
+	DThroughputIPC  float64 `json:"d_throughput_ipc"`
+	DIQAVF          float64 `json:"d_iq_avf"`
+	DROBAVF         float64 `json:"d_rob_avf"`
+	DMaxIQAVF       float64 `json:"d_max_iq_avf"`
+	DPolicySwitches int64   `json:"d_policy_switches"`
+	DDVMTriggers    int64   `json:"d_dvm_triggers"`
+}
+
+// Zero reports whether every delta is exactly zero (the signature of an
+// untouched replay — or a counterfactual that changed nothing).
+func (d Diff) Zero() bool { return d == Diff{} }
+
+// SummaryDiff computes alt − base per metric.
+func SummaryDiff(base, alt decision.Summary) Diff {
+	return Diff{
+		DCycles:         int64(alt.Cycles) - int64(base.Cycles),
+		DCommits:        int64(alt.Commits) - int64(base.Commits),
+		DThroughputIPC:  alt.ThroughputIPC - base.ThroughputIPC,
+		DIQAVF:          alt.IQAVF - base.IQAVF,
+		DROBAVF:         alt.ROBAVF - base.ROBAVF,
+		DMaxIQAVF:       alt.MaxIQAVF - base.MaxIQAVF,
+		DPolicySwitches: int64(alt.PolicySwitches) - int64(base.PolicySwitches),
+		DDVMTriggers:    int64(alt.DVMTriggers) - int64(base.DVMTriggers),
+	}
+}
+
+// Outcome is one counterfactual replay's report.
+type Outcome struct {
+	// Forced is the schedule the alternative ran under.
+	Forced decision.Schedule `json:"forced"`
+	// Base and Alt are the recorded and counterfactual run summaries.
+	Base decision.Summary `json:"base"`
+	Alt  decision.Summary `json:"alt"`
+	// Diff is Alt − Base.
+	Diff Diff `json:"diff"`
+	// Trace is the alternative run's trace (its Forced-marked events show
+	// where the overrides took hold).
+	Trace *decision.Trace `json:"-"`
+}
+
+// Counterfactual replays tr with its first k measured decisions flipped and
+// reports the consequences. It returns an error when the trace has no
+// flippable decision — there is nothing to be counterfactual about.
+func Counterfactual(tr *decision.Trace, k int) (*Outcome, error) {
+	if k < 1 {
+		k = 1
+	}
+	sched := CounterfactualSchedule(tr, k)
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("replay: trace records no flippable decisions")
+	}
+	_, alt, err := Replay(tr, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Forced: sched,
+		Base:   tr.Summary,
+		Alt:    alt.Summary,
+		Diff:   SummaryDiff(tr.Summary, alt.Summary),
+		Trace:  alt,
+	}, nil
+}

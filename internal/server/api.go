@@ -22,6 +22,14 @@ type SubmitCell struct {
 // SubmitRequest is the body of POST /v1/sweeps.
 type SubmitRequest struct {
 	Cells []SubmitCell `json:"cells"`
+	// TraceLevel, when > 0, records a decision trace for every cell (1 =
+	// decision edges, 2 adds per-sample observations), downloadable from
+	// /v1/jobs/{id}/trace?cell=KEY as NDJSON. Traced cells always simulate
+	// freshly — they bypass the result cache in both directions — because a
+	// cached result has no trace to serve; results are byte-identical
+	// either way (tracing is observation only and is not part of the
+	// cell's content address).
+	TraceLevel int `json:"trace_level,omitempty"`
 }
 
 // SubmitResponse acknowledges an accepted sweep.
@@ -67,6 +75,10 @@ type CellStatus struct {
 	// Stats is the simulator cost of the run that produced the result;
 	// for cache hits it echoes the original run's cost.
 	Stats harness.CellStats `json:"stats"`
+	// HasTrace reports that a decision trace was recorded for the cell
+	// (submissions with trace_level > 0); download it from
+	// /v1/jobs/{id}/trace?cell=KEY.
+	HasTrace bool `json:"has_trace,omitempty"`
 }
 
 // JobStatus is the body of GET /v1/jobs/{id}.

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"time"
 
 	"visasim/internal/core"
@@ -37,6 +38,10 @@ type Client struct {
 	// Submit when the context does not already carry one, and sent to the
 	// daemon in the obs.SweepHeader header). Nil discards.
 	Logger *slog.Logger
+	// TraceLevel, when > 0, asks the daemon to record decision traces for
+	// every submitted cell (see SubmitRequest.TraceLevel); download them
+	// with Trace after the job resolves.
+	TraceLevel int
 }
 
 func (c *Client) log() *slog.Logger { return obs.Logger(c.Logger) }
@@ -98,7 +103,7 @@ func decodeError(resp *http.Response) error {
 // same sweep grep together.
 func (c *Client) Submit(ctx context.Context, cells []harness.Cell) (SubmitResponse, error) {
 	ctx, sweep := obs.EnsureSweep(ctx)
-	req := SubmitRequest{Cells: make([]SubmitCell, len(cells))}
+	req := SubmitRequest{Cells: make([]SubmitCell, len(cells)), TraceLevel: c.TraceLevel}
 	for i, cell := range cells {
 		req.Cells[i] = SubmitCell{Key: cell.Key, Config: cell.Cfg}
 	}
@@ -174,6 +179,30 @@ func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 		case <-time.After(c.poll()):
 		}
 	}
+}
+
+// Trace downloads one cell's recorded decision trace from a resolved traced
+// job as NDJSON bytes (decision.Trace.WriteNDJSON's format: a header line,
+// one line per event, a summary line). The job must have been submitted by a
+// client with TraceLevel > 0.
+func (c *Client) Trace(ctx context.Context, jobID, cellKey string) ([]byte, error) {
+	u := c.BaseURL + "/v1/jobs/" + jobID + "/trace"
+	if cellKey != "" {
+		u += "?cell=" + url.QueryEscape(cellKey)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // Run submits the cells, waits for the job, and returns keyed results with

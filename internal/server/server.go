@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"visasim/internal/core"
+	"visasim/internal/decision"
 	"visasim/internal/harness"
 	"visasim/internal/obs"
 	"visasim/internal/store"
@@ -100,6 +101,7 @@ type jobCell struct {
 	res   *core.Result
 	err   error
 	stats harness.CellStats
+	trace *decision.Trace // recorded when the job's traceLevel > 0
 }
 
 // job is one accepted sweep submission.
@@ -111,6 +113,9 @@ type job struct {
 	// queuedAt is when the submission was accepted, for the queue-wait
 	// histogram.
 	queuedAt time.Time
+	// traceLevel is the submission's decision-trace level; traced jobs
+	// bypass the result cache (see SubmitRequest.TraceLevel).
+	traceLevel int
 
 	mu      sync.Mutex
 	state   string
@@ -177,6 +182,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
@@ -269,6 +275,19 @@ func (s *Server) runJob(j *job) {
 	var wg sync.WaitGroup
 	for i := range j.cells {
 		c := &j.cells[i]
+		if j.traceLevel > 0 {
+			// Traced cells bypass the cache in both directions: a cached
+			// result has no trace to serve, and filling the cache from here
+			// would gain nothing (the result is byte-identical to an
+			// untraced run's, but the single-flight entry has nowhere to
+			// carry the trace).
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.runTracedCell(j, c)
+			}()
+			continue
+		}
 		e, leader := s.cache.claim(c.hash)
 		if !leader {
 			if e.resolved() {
@@ -374,6 +393,43 @@ func (s *Server) runJob(j *job) {
 	}
 	s.log.Info("job finished", "sweep", j.sweep, "job", j.id,
 		"state", state, "cells", len(j.cells), "cache_hits", hits)
+}
+
+// runTracedCell simulates one cell of a traced job with decision recording,
+// outside the single-flight cache.
+func (s *Server) runTracedCell(j *job, c *jobCell) {
+	s.sem <- struct{}{}
+	t0 := time.Now()
+	res, stats, traces, err := harness.RunTraced(
+		[]harness.Cell{{Key: c.key, Cfg: c.cfg}},
+		harness.Options{Workers: 1, TraceLevel: j.traceLevel,
+			Labels: map[string]string{"sweep": j.sweep}})
+	s.met.histSimulate.Observe(time.Since(t0).Seconds())
+	<-s.sem
+
+	j.mu.Lock()
+	c.done = true
+	if err != nil {
+		var ce *harness.CellError
+		if errors.As(err, &ce) {
+			err = ce.Err
+		}
+		c.err = err
+	} else {
+		c.res = res[c.key]
+		c.stats = stats[c.key]
+		c.trace = traces[c.key]
+	}
+	j.bump()
+	j.mu.Unlock()
+	s.met.recordCell(false)
+	if err != nil {
+		s.log.Error("traced cell simulation failed", "sweep", j.sweep,
+			"job", j.id, "cell", c.key, "hash", c.hash[:12], "err", err)
+		return
+	}
+	s.log.Debug("traced cell simulated", "sweep", j.sweep, "job", j.id,
+		"cell", c.key, "hash", c.hash[:12], "trace_level", j.traceLevel)
 }
 
 // syncCacheGauges refreshes the cache/store occupancy gauges after a cell
@@ -492,13 +548,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.seq++
+	traceLevel := req.TraceLevel
+	if traceLevel < 0 {
+		traceLevel = 0
+	}
 	j := &job{
-		id:       fmt.Sprintf("job-%d", s.seq),
-		sweep:    sweep,
-		queuedAt: time.Now(),
-		state:    StateQueued,
-		cells:    cells,
-		changed:  make(chan struct{}),
+		id:         fmt.Sprintf("job-%d", s.seq),
+		sweep:      sweep,
+		queuedAt:   time.Now(),
+		traceLevel: traceLevel,
+		state:      StateQueued,
+		cells:      cells,
+		changed:    make(chan struct{}),
 	}
 	select {
 	case s.queue <- j:
@@ -551,6 +612,7 @@ func cellStatus(c *jobCell) CellStatus {
 		Done:     c.done,
 		CacheHit: c.hit,
 		Stats:    c.stats,
+		HasTrace: c.trace != nil,
 	}
 	if c.err != nil {
 		cs.Error = c.err.Error()
@@ -631,6 +693,58 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// handleTrace serves one cell's recorded decision trace as NDJSON (header
+// line, one line per event, summary line — decision.Trace.WriteNDJSON's
+// format). The cell is selected with ?cell=KEY; a single-cell job needs no
+// parameter.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	key := r.URL.Query().Get("cell")
+
+	j.mu.Lock()
+	traceLevel := j.traceLevel
+	var c *jobCell
+	switch {
+	case key != "":
+		for i := range j.cells {
+			if j.cells[i].key == key {
+				c = &j.cells[i]
+				break
+			}
+		}
+	case len(j.cells) == 1:
+		c = &j.cells[0]
+	}
+	var (
+		done bool
+		tr   *decision.Trace
+	)
+	if c != nil {
+		done, tr = c.done, c.trace
+	}
+	j.mu.Unlock()
+
+	switch {
+	case traceLevel <= 0:
+		writeError(w, http.StatusNotFound, "job %s was not submitted with trace_level > 0", j.id)
+	case c == nil && key == "":
+		writeError(w, http.StatusBadRequest, "job %s has several cells; select one with ?cell=KEY", j.id)
+	case c == nil:
+		writeError(w, http.StatusNotFound, "job %s has no cell %q", j.id, key)
+	case !done:
+		writeError(w, http.StatusConflict, "cell %q has not resolved yet", key)
+	case tr == nil:
+		writeError(w, http.StatusNotFound, "cell %q recorded no trace (simulation failed?)", key)
+	default:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteNDJSON(w) //nolint:errcheck // client went away; nothing to do
 	}
 }
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-cover cluster-test obs-smoke bench bench-throughput golden experiments examples serve fmt vet staticcheck clean
+.PHONY: all build test test-short test-race test-cover cluster-test obs-smoke explore-smoke docs-lint bench bench-throughput golden twin-golden experiments examples serve fmt vet staticcheck clean
 
 all: build test
 
@@ -43,18 +43,38 @@ cluster-test:
 obs-smoke:
 	./scripts/obs-smoke.sh
 
+# Design-space exploration smoke test: screens a seeded sample through the
+# analytical twin and verifies the frontier locally, through a real
+# visasimd, and through the dispatch coordinator, asserting the three
+# frontier reports are byte-identical (see internal/explore, DESIGN.md §11).
+explore-smoke:
+	./scripts/explore-smoke.sh
+
+# Prose gate: README/DESIGN/EXPERIMENTS/ROADMAP/CHANGES links and anchors
+# must resolve, and every cmd/* binary must be mentioned in README.
+docs-lint:
+	./scripts/docs-lint.sh
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Simulator-throughput benchmark only; writes machine-readable results to
-# BENCH_pr1.json for regression tracking across PRs.
+# Simulator- and twin-throughput benchmarks only; writes machine-readable
+# results to BENCH_pr7.json for regression tracking across PRs (earlier
+# PRs' records live in BENCH_pr1.json).
 bench-throughput:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFaultInjection' -benchmem -bench-json BENCH_pr1.json .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFaultInjection|BenchmarkTwinScreen' -benchmem -bench-json BENCH_pr7.json .
 
 # Regenerates testdata/golden from current simulator behaviour. Only run
 # after a deliberate modelling change; commit the diff with an explanation.
 golden:
 	$(GO) test -run TestGolden -update .
+
+# Refits the analytical twin against fresh simulator measurements and
+# rewrites internal/twin/model.json plus testdata/golden/twin. Run after
+# any change to the simulator's modelled behaviour or the twin's equations;
+# commit both artifacts together.
+twin-golden:
+	$(GO) test -run TestGoldenCalibration -update ./internal/twin
 
 # Regenerates every table and figure at the recorded budget (see
 # EXPERIMENTS.md). Takes several minutes.

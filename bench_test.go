@@ -20,9 +20,11 @@ import (
 	"visasim/internal/config"
 	"visasim/internal/core"
 	"visasim/internal/experiments"
+	"visasim/internal/explore"
 	"visasim/internal/inject"
 	"visasim/internal/pipeline"
 	"visasim/internal/trace"
+	"visasim/internal/twin"
 	"visasim/internal/uarch"
 	"visasim/internal/workload"
 )
@@ -189,8 +191,9 @@ func BenchmarkFaultInjection(b *testing.B) {
 
 // benchJSONPath, when set, makes the throughput benchmarks append their
 // results to a machine-readable JSON file (see `make bench-throughput`,
-// which writes BENCH_pr1.json) so throughput regressions are diffable
-// across PRs.
+// which writes BENCH_pr7.json) so throughput regressions are diffable
+// across PRs. For BenchmarkTwinScreen the Instructions field counts
+// screened configurations, so InstrsPerSec is configs/sec.
 var benchJSONPath = flag.String("bench-json", "", "write throughput benchmark records to this JSON file")
 
 // benchRecord is one benchmark's machine-readable result.
@@ -254,6 +257,35 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(cycles)/simTime.Seconds(), "cycles/sec")
 	}
 	recordBench(b, "SimulatorThroughput", cycles, instrs, simTime)
+}
+
+// BenchmarkTwinScreen measures the analytical twin's screening throughput
+// (configs/sec): the rate internal/explore evaluates design points at
+// during screen-then-verify exploration. One op = one Decode+Evaluate over
+// the default design space, single goroutine.
+func BenchmarkTwinScreen(b *testing.B) {
+	model, err := twin.Default()
+	if err != nil {
+		b.Fatal(err)
+	}
+	enum, err := explore.DefaultSpace().Compile(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var in twin.Input
+	var pred twin.Prediction
+	size := enum.Size()
+	b.ResetTimer()
+	t0 := time.Now()
+	for i := 0; i < b.N; i++ {
+		enum.Decode(int64(i)%size, &in)
+		model.Evaluate(&in, &pred)
+	}
+	elapsed := time.Since(t0)
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "configs/sec")
+	}
+	recordBench(b, "TwinScreen", 0, uint64(b.N), elapsed)
 }
 
 func BenchmarkTraceExecutor(b *testing.B) {

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"visasim/internal/experiments"
+	"visasim/internal/explore"
+	"visasim/internal/twin"
+)
+
+// exploreParams carries the explore target's own flags alongside the
+// shared experiment parameters.
+type exploreParams struct {
+	Samples uint64 // 0 = exhaustive enumeration of the default space
+	Seed    uint64
+	Verify  int    // frontier points to verify through the simulator (0 = none)
+	JSON    string // optional machine-readable frontier report path
+}
+
+// runExplore screens the default design space through the analytical twin,
+// keeps the Pareto frontier over (IPC, IQ AVF, area), verifies a spread of
+// frontier points through p.Runner (local harness, visasimd, or dispatch
+// cluster — whatever the shared flags selected), and renders the frontier
+// table.
+func runExplore(p experiments.Params, ep exploreParams) (string, error) {
+	model, err := twin.Default()
+	if err != nil {
+		return "", fmt.Errorf("loading twin model: %w", err)
+	}
+	enum, err := explore.DefaultSpace().Compile(model)
+	if err != nil {
+		return "", err
+	}
+	res, err := explore.Screen(model, enum, explore.Options{
+		Workers: p.Workers,
+		Samples: int64(ep.Samples),
+		Seed:    ep.Seed,
+	})
+	if err != nil {
+		return "", err
+	}
+
+	var verified []explore.Verified
+	if ep.Verify > 0 {
+		sel := explore.Select(res.Frontier, ep.Verify)
+		verified, err = explore.Verify(model, sel, p.Runner, p.Workers)
+		if err != nil {
+			return "", err
+		}
+	}
+
+	if ep.JSON != "" {
+		blob, err := explore.MarshalReport(&explore.RunReport{
+			Model:      model.Version,
+			Budget:     model.Budget,
+			SpaceSize:  res.Size,
+			Screened:   res.Screened,
+			ElapsedSec: res.Elapsed.Seconds(),
+			Frontier:   res.Frontier,
+			Verified:   verified,
+		})
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(ep.JSON, blob, 0o644); err != nil {
+			return "", err
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Design-space exploration (twin model v%d, verify budget %d instructions):\n",
+		model.Version, model.Budget)
+	b.WriteString(explore.Summary(res) + "\n\n")
+	show := res.Frontier
+	const tableCap = 40
+	if len(show) > tableCap && ep.Verify == 0 {
+		show = explore.Select(show, tableCap)
+		fmt.Fprintf(&b, "(showing %d of %d frontier points, spread by area; use -explore-json for all)\n",
+			len(show), len(res.Frontier))
+	} else if ep.Verify > 0 {
+		show = explore.Select(res.Frontier, ep.Verify)
+	}
+	if err := explore.WriteFrontier(&b, show, verified); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

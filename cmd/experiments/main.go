@@ -7,9 +7,13 @@
 //
 // Targets: fig1 fig2 fig5 fig6 fig8 fig9 fig10 table1 table2 table3 all
 // (default: all), plus `bench`, which measures simulator throughput and
-// writes machine-readable records (see -bench-json, -cpuprofile). The
-// shapes — not the absolute values — are the reproduction target;
-// EXPERIMENTS.md records the comparison against the paper.
+// writes machine-readable records (see -bench-json, -cpuprofile), and
+// `explore`, which screens the design space through the analytical twin
+// (internal/twin) and verifies the Pareto frontier through the simulator
+// (see -explore-samples, -explore-seed, -explore-verify, -explore-json and
+// DESIGN.md §11). The shapes — not the absolute values — are the
+// reproduction target; EXPERIMENTS.md records the comparison against the
+// paper.
 //
 // With -server, every sweep runs through a visasimd daemon instead of
 // in-process, so repeated regenerations (and overlapping figures) hit the
@@ -64,6 +68,11 @@ func main() {
 		logFormat     = flag.String("log-format", "text", "log line format: text or json")
 		traceLevel    = flag.Int("trace-level", 0, "record per-cell decision traces: 0 off, 1 decision edges, 2 adds per-sample observations (local sweeps only)")
 		traceDir      = flag.String("trace-dir", "", "with -trace-level: write each cell's trace to DIR/<key>.vdt (default decision-traces)")
+
+		exploreSamples = flag.Uint64("explore-samples", 0, "explore target: screen this many seeded samples instead of the full space (0 = exhaustive)")
+		exploreSeed    = flag.Uint64("explore-seed", 1, "explore target: sampling seed")
+		exploreVerify  = flag.Int("explore-verify", 8, "explore target: frontier points to verify through the simulator (0 = screen only)")
+		exploreJSON    = flag.String("explore-json", "", "explore target: also write the full frontier report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -159,6 +168,21 @@ func main() {
 			}
 			fmt.Println(out)
 			fmt.Fprintf(os.Stderr, "[bench done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		if tgt == "explore" {
+			out, err := runExplore(p, exploreParams{
+				Samples: *exploreSamples,
+				Seed:    *exploreSeed,
+				Verify:  *exploreVerify,
+				JSON:    *exploreJSON,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: explore: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+			fmt.Fprintf(os.Stderr, "[explore done in %v]\n\n", time.Since(start).Round(time.Millisecond))
 			continue
 		}
 		out, csv, err := run(tgt, p)

@@ -11,6 +11,13 @@
 //	visasimctl sweep   -backends URL,URL,... [-cells FILE] [-store DIR]
 //	                   [-resume] [-hedge 2s] [-workers N] [-timeout 10m]
 //	                   [-log-level info] [-log-format text] [-seed N]
+//	visasimctl explore -backends URL,URL,... [-samples N] [-seed N] [-verify K]
+//	                   [-workers N] [-hedge 2s] [-timeout 10m] [-json FILE]
+//
+// The explore subcommand screens the SMT design space through the
+// analytical twin (internal/twin) locally, then verifies a spread of the
+// Pareto frontier across the cluster and prints the frontier report table
+// (DESIGN.md §11). With -verify 0 it screens only and needs no backends.
 //
 // The sweep subcommand reads cells from FILE (or stdin when "-", the
 // default) in the same JSON shape POST /v1/sweeps accepts:
@@ -58,6 +65,8 @@ func main() {
 		err = cmdMetrics(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "explore":
+		err = cmdExplore(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -78,7 +87,10 @@ func usage() {
   visasimctl metrics -backends URL,URL,... [-prom]
   visasimctl sweep   -backends URL,URL,... [-cells FILE] [-store DIR] [-resume]
                      [-hedge D] [-workers N] [-timeout D]
-                     [-log-level L] [-log-format F] [-seed N]`)
+                     [-log-level L] [-log-format F] [-seed N]
+  visasimctl explore -backends URL,URL,... [-samples N] [-seed N] [-verify K]
+                     [-workers N] [-hedge D] [-timeout D] [-json FILE]
+                     [-log-level L] [-log-format F]`)
 }
 
 // backendList splits and validates the -backends flag value.

@@ -35,6 +35,13 @@
 //     persistent on-disk result store keyed by the same content hashes),
 //     and dispatch (a coordinator sharding sweeps across several daemons
 //     with retry, failover, hedging, and checkpointed resume).
+//   - Analytical twin — twin (a calibrated surrogate model predicting
+//     IPC, IQ occupancy and IQ/ROB AVF per design point in under a
+//     microsecond, its accuracy pinned by a golden calibration report)
+//     and explore (design-space enumeration and seeded sampling, the
+//     Pareto frontier over IPC/IQ-AVF/area, and frontier verification
+//     back through the simulator via the same runner seam the
+//     experiments use).
 //
 // # Determinism as a load-bearing property
 //
@@ -49,11 +56,13 @@
 //
 // Commands: cmd/visasim (one simulation), cmd/avfprof (offline profiling),
 // cmd/faultsim (injection campaigns), cmd/tracedump (stream inspection),
-// cmd/experiments (regenerate every table/figure, optionally through a
+// cmd/experiments (regenerate every table/figure plus the explore
+// target's screen-then-verify frontier search, optionally through a
 // daemon via -server or a cluster via -backends), cmd/visasimd (the
 // simulation service, optionally store-backed via -store), and
 // cmd/visasimctl (cluster operations: health, metrics, distributed
-// sweeps with checkpointed resume).
+// sweeps with checkpointed resume, and explore — screen locally, verify
+// the frontier across the cluster).
 // Runnable examples live under examples/; this root package holds the
 // benchmark harness (bench_test.go) plus the golden and determinism tests.
 package visasim

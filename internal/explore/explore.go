@@ -1,0 +1,229 @@
+// Package explore searches the SMT design space for issue-queue
+// reliability/performance trade-offs using the screen-then-verify workflow
+// DESIGN.md §11 describes: enumerate or sample millions of configurations
+// across the explorer axes (issue-queue size, DVM target depth, fetch
+// policy, function-unit mix, scheme, thread count), screen each one through
+// the analytical twin in well under a microsecond, keep only the Pareto
+// frontier over (IPC ↑, IQ AVF ↓, area ↓), and hand that frontier to the
+// full simulator — through the same Runner seam the experiment harness,
+// visasimd and the dispatch cluster share — for verification.
+//
+// Everything here is deterministic: the same Space, seed and sample count
+// produce the same frontier regardless of worker count, so frontier
+// artifacts are byte-reproducible and CI can assert parity between local
+// and daemon-backed runs.
+package explore
+
+import (
+	"fmt"
+
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+	"visasim/internal/twin"
+)
+
+// Space declares the axes of a design-space sweep. The cross product of
+// the axes — with the DVM-fraction axis applying only to the DVM scheme —
+// is the enumerable index space; Compile freezes it into an Enum for
+// screening.
+type Space struct {
+	// Mixes indexes workload.Mixes(); Threads picks co-schedule widths.
+	Mixes   []int
+	Threads []int
+
+	// Schemes lists the protection schemes to explore. The DVM scheme
+	// expands into one design point per DVMFrac; every other scheme
+	// contributes a single point per combination. SchemeDVMStatic is
+	// outside the twin's scope and is rejected by Compile.
+	Schemes  []core.Scheme
+	DVMFracs []float64
+
+	Policies []pipeline.FetchPolicyKind
+	IQSizes  []int
+	FUs      [][5]int
+}
+
+// FUGrid builds a function-unit axis as the cross product of per-class
+// count choices, ordered to match isa.FUClass.
+func FUGrid(intALUs, intMulDivs, loadStores, fpALUs, fpMulDivs []int) [][5]int {
+	var out [][5]int
+	for _, a := range intALUs {
+		for _, m := range intMulDivs {
+			for _, l := range loadStores {
+				for _, fa := range fpALUs {
+					for _, fm := range fpMulDivs {
+						out = append(out, [5]int{a, m, l, fa, fm})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DefaultSpace is the production sweep: every Table 3 mix and thread
+// count, every fetch policy, all twin-modelled schemes with seven DVM
+// target depths, eleven issue-queue sizes and a 648-point function-unit
+// grid — about 14.1 million design points.
+func DefaultSpace() Space {
+	return Space{
+		Mixes:    seqInts(0, len(twin.MixIndices())-1),
+		Threads:  []int{1, 2, 3, 4},
+		Schemes:  []core.Scheme{core.SchemeBase, core.SchemeVISA, core.SchemeVISAOpt1, core.SchemeVISAOpt2, core.SchemeDVM},
+		DVMFracs: []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
+		Policies: pipeline.AllPolicies(),
+		IQSizes:  []int{16, 24, 32, 48, 64, 80, 96, 128, 160, 192, 256},
+		FUs: FUGrid(
+			[]int{2, 4, 6, 8, 12, 16},
+			[]int{1, 2, 4},
+			[]int{2, 4, 6, 8},
+			[]int{2, 4, 8},
+			[]int{1, 2, 4},
+		),
+	}
+}
+
+func seqInts(from, to int) []int {
+	out := make([]int, 0, to-from+1)
+	for i := from; i <= to; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// schemeVariant is one expanded entry of the scheme axis: a scheme plus
+// its DVM fraction (0 for non-DVM schemes).
+type schemeVariant struct {
+	scheme core.Scheme
+	frac   float64
+}
+
+// Enum is a compiled Space: a bijection between [0, Size()) and design
+// points, validated against a model so Decode+Evaluate never fail inside
+// the screening loop.
+type Enum struct {
+	space    Space
+	variants []schemeVariant
+	size     int64
+}
+
+// Compile validates the space against m and freezes it for enumeration.
+func (s Space) Compile(m *twin.Model) (*Enum, error) {
+	check := func(cond bool, format string, args ...any) error {
+		if cond {
+			return nil
+		}
+		return fmt.Errorf("explore: "+format, args...)
+	}
+	axes := []struct {
+		name string
+		n    int
+	}{
+		{"mixes", len(s.Mixes)}, {"threads", len(s.Threads)},
+		{"schemes", len(s.Schemes)}, {"policies", len(s.Policies)},
+		{"iq sizes", len(s.IQSizes)}, {"function-unit mixes", len(s.FUs)},
+	}
+	for _, a := range axes {
+		if err := check(a.n > 0, "space has no %s", a.name); err != nil {
+			return nil, err
+		}
+	}
+
+	e := &Enum{space: s}
+	for _, sch := range s.Schemes {
+		if sch == core.SchemeDVM {
+			if err := check(len(s.DVMFracs) > 0, "DVM scheme in space but no DVM fractions"); err != nil {
+				return nil, err
+			}
+			for _, f := range s.DVMFracs {
+				e.variants = append(e.variants, schemeVariant{core.SchemeDVM, f})
+			}
+			continue
+		}
+		e.variants = append(e.variants, schemeVariant{sch, 0})
+	}
+
+	// Validate every axis value once, so the screening loop can trust
+	// Decode unconditionally. One probe Input per axis value reuses the
+	// twin's own validation.
+	probe := func(mod func(*twin.Input)) error {
+		in := twin.Input{
+			Mix: s.Mixes[0], Threads: s.Threads[0],
+			Scheme: e.variants[0].scheme, DVMFrac: e.variants[0].frac,
+			Policy: s.Policies[0], IQSize: s.IQSizes[0], FU: s.FUs[0],
+		}
+		mod(&in)
+		return m.Valid(&in)
+	}
+	for _, mix := range s.Mixes {
+		if err := probe(func(in *twin.Input) { in.Mix = mix }); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range s.Threads {
+		if err := probe(func(in *twin.Input) { in.Threads = t }); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range e.variants {
+		v := v
+		if err := probe(func(in *twin.Input) { in.Scheme = v.scheme; in.DVMFrac = v.frac }); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range s.Policies {
+		if err := probe(func(in *twin.Input) { in.Policy = p }); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range s.IQSizes {
+		if err := probe(func(in *twin.Input) { in.IQSize = q }); err != nil {
+			return nil, err
+		}
+	}
+	for _, fu := range s.FUs {
+		fu := fu
+		if err := probe(func(in *twin.Input) { in.FU = fu }); err != nil {
+			return nil, err
+		}
+	}
+
+	e.size = 1
+	for _, n := range []int{len(s.Mixes), len(s.Threads), len(e.variants), len(s.Policies), len(s.IQSizes), len(s.FUs)} {
+		e.size *= int64(n)
+		if e.size < 0 || e.size > 1<<50 {
+			return nil, fmt.Errorf("explore: space size overflows the index range")
+		}
+	}
+	return e, nil
+}
+
+// Size is the number of design points the enum addresses.
+func (e *Enum) Size() int64 { return e.size }
+
+// Space returns the space the enum was compiled from.
+func (e *Enum) Space() Space { return e.space }
+
+// Decode maps an index in [0, Size()) to its design point. It is the
+// screening hot path: zero allocation, mixed-radix digit extraction in
+// axis order (FU fastest, mix slowest).
+func (e *Enum) Decode(i int64, in *twin.Input) {
+	s := &e.space
+	d := i % int64(len(s.FUs))
+	in.FU = s.FUs[d]
+	i /= int64(len(s.FUs))
+	d = i % int64(len(s.IQSizes))
+	in.IQSize = s.IQSizes[d]
+	i /= int64(len(s.IQSizes))
+	d = i % int64(len(s.Policies))
+	in.Policy = s.Policies[d]
+	i /= int64(len(s.Policies))
+	d = i % int64(len(e.variants))
+	in.Scheme = e.variants[d].scheme
+	in.DVMFrac = e.variants[d].frac
+	i /= int64(len(e.variants))
+	d = i % int64(len(s.Threads))
+	in.Threads = s.Threads[d]
+	i /= int64(len(s.Threads))
+	in.Mix = s.Mixes[i]
+}

@@ -1,0 +1,99 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"visasim/internal/workload"
+)
+
+// RunReport is the machine-readable form of a screen-then-verify run —
+// the shape `experiments explore -explore-json` and `visasimctl explore
+// -json` both write. Everything except ElapsedSec is deterministic for a
+// given (model, space, seed, samples, verify budget), which is what lets
+// CI assert byte-parity between local and daemon-backed runs.
+type RunReport struct {
+	Model      int    // twin model version
+	Budget     uint64 // verification budget (instructions)
+	SpaceSize  int64
+	Screened   int64
+	ElapsedSec float64
+	Frontier   []Point
+	Verified   []Verified
+}
+
+// MarshalReport serialises a run report as indented JSON.
+func MarshalReport(r *RunReport) ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// WriteFrontier renders a screened frontier as an aligned text table,
+// sorted by area (cheapest design first). If verified is non-empty, the
+// matching rows gain simulator columns and twin-vs-simulator errors.
+func WriteFrontier(w io.Writer, pts []Point, verified []Verified) error {
+	byIdx := make(map[int64]*Verified, len(verified))
+	for i := range verified {
+		byIdx[verified[i].Index] = &verified[i]
+	}
+	ordered := Select(pts, len(pts)) // area-ordered copy
+
+	mixes := workload.Mixes()
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	header := "POINT\tMIX\tT\tSCHEME\tPOLICY\tIQ\tFU\tDVM\tAREA\tIPC*\tIQAVF*"
+	if len(byIdx) > 0 {
+		header += "\tIPC\tIQAVF\tERR(IPC)\tERR(AVF)"
+	}
+	fmt.Fprintln(tw, header)
+	for i := range ordered {
+		p := &ordered[i]
+		mix := "?"
+		if p.In.Mix >= 0 && p.In.Mix < len(mixes) {
+			mix = mixes[p.In.Mix].Name
+		}
+		dvm := "-"
+		if p.In.DVMFrac > 0 {
+			dvm = fmt.Sprintf("%.2f", p.In.DVMFrac)
+		}
+		fu := make([]string, len(p.In.FU))
+		for c, n := range p.In.FU {
+			fu[c] = fmt.Sprint(n)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%v\t%v\t%d\t%s\t%s\t%.0f\t%.3f\t%.4f",
+			p.Index, mix, p.In.Threads, p.In.Scheme, p.In.Policy,
+			p.In.IQSize, strings.Join(fu, "/"), dvm,
+			p.Pred.Area, p.Pred.IPC, p.Pred.IQAVF)
+		if len(byIdx) > 0 {
+			if v := byIdx[p.Index]; v != nil {
+				fmt.Fprintf(tw, "\t%.3f\t%.4f\t%s\t%s",
+					v.Obs.IPC, v.Obs.IQAVF,
+					relErr(p.Pred.IPC, v.Obs.IPC), relErr(p.Pred.IQAVF, v.Obs.IQAVF))
+			} else {
+				fmt.Fprint(tw, "\t-\t-\t-\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func relErr(pred, obs float64) string {
+	if obs == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(pred-obs)/obs)
+}
+
+// Summary is a one-paragraph account of a screening run for logs and CLI
+// output.
+func Summary(res *Result) string {
+	rate := float64(res.Screened) / res.Elapsed.Seconds()
+	return fmt.Sprintf("screened %d of %d design points in %v (%.0f configs/sec), frontier %d points",
+		res.Screened, res.Size, res.Elapsed.Round(1_000_000), rate, len(res.Frontier))
+}

@@ -1,0 +1,206 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"visasim/internal/rng"
+	"visasim/internal/twin"
+)
+
+// Point is one screened design point: its index in the enumeration, the
+// decoded input, and the twin's prediction.
+type Point struct {
+	Index int64
+	In    twin.Input
+	Pred  twin.Prediction
+}
+
+// Options controls a screening run.
+type Options struct {
+	// Workers is the screening parallelism (0 = GOMAXPROCS). The result
+	// is identical for every worker count.
+	Workers int
+	// Samples > 0 screens that many seeded pseudo-random points instead
+	// of the full enumeration. Sample i is Hash64(seed, i) mod Size —
+	// a pure function of (Seed, i) — so the screened set is independent
+	// of worker scheduling.
+	Samples int64
+	Seed    uint64
+}
+
+// Result is a completed screen: the Pareto frontier over (IPC ↑, IQ AVF ↓,
+// area ↓) plus run accounting.
+type Result struct {
+	Size     int64 // design points the space addresses
+	Screened int64 // points actually evaluated
+	Frontier []Point
+	Elapsed  time.Duration
+}
+
+// Screen evaluates the space through the twin and returns the Pareto
+// frontier. Exhaustive when opt.Samples is 0, sampled otherwise; in both
+// modes the frontier is an exact, deterministic function of (space, seed,
+// sample count) — workers only change wall-clock time.
+func Screen(m *twin.Model, e *Enum, opt Options) (*Result, error) {
+	if e.Size() == 0 {
+		return nil, fmt.Errorf("explore: empty space")
+	}
+	start := time.Now()
+	n := e.Size()
+	sampled := opt.Samples > 0
+	if sampled {
+		n = opt.Samples
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if int64(workers) > n {
+		workers = int(n)
+	}
+
+	// Each worker screens a contiguous index range into a private
+	// frontier; the merge of per-worker frontiers is exactly the global
+	// frontier, because a globally non-dominated point is non-dominated
+	// in every subset that contains it.
+	fronts := make([]frontier, workers)
+	var wg sync.WaitGroup
+	chunk := n / int64(workers)
+	rem := n % int64(workers)
+	lo := int64(0)
+	for w := 0; w < workers; w++ {
+		hi := lo + chunk
+		if int64(w) < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			f := &fronts[w]
+			var p Point
+			for i := lo; i < hi; i++ {
+				idx := i
+				if sampled {
+					idx = int64(rng.Hash64(opt.Seed, uint64(i)) % uint64(e.Size()))
+				}
+				p.Index = idx
+				e.Decode(idx, &p.In)
+				m.Evaluate(&p.In, &p.Pred)
+				f.add(&p)
+			}
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+
+	var merged []Point
+	for w := range fronts {
+		merged = append(merged, fronts[w].pts...)
+	}
+	res := &Result{
+		Size:     e.Size(),
+		Screened: n,
+		Frontier: paretoFront(merged),
+		Elapsed:  time.Since(start),
+	}
+	return res, nil
+}
+
+// covers reports weak dominance: a is at least as good as b on every
+// objective.
+func covers(a, b *Point) bool {
+	return a.Pred.IPC >= b.Pred.IPC && a.Pred.IQAVF <= b.Pred.IQAVF && a.Pred.Area <= b.Pred.Area
+}
+
+// beats reports whether a displaces b on the frontier: strict dominance,
+// or an identical objective triple held by an earlier index (duplicate
+// triples keep exactly one representative, the lowest-index one, so the
+// frontier is worker-count invariant).
+func beats(a, b *Point) bool {
+	if !covers(a, b) {
+		return false
+	}
+	if a.Pred.IPC > b.Pred.IPC || a.Pred.IQAVF < b.Pred.IQAVF || a.Pred.Area < b.Pred.Area {
+		return true
+	}
+	return a.Index < b.Index
+}
+
+// frontier is an incrementally maintained Pareto set.
+type frontier struct {
+	pts []Point
+}
+
+func (f *frontier) add(p *Point) {
+	for i := range f.pts {
+		if beats(&f.pts[i], p) {
+			return
+		}
+	}
+	keep := f.pts[:0]
+	for i := range f.pts {
+		if !beats(p, &f.pts[i]) {
+			keep = append(keep, f.pts[i])
+		}
+	}
+	f.pts = append(keep, *p)
+}
+
+// paretoFront reduces a point set to its Pareto frontier, sorted by index.
+// The result is independent of the input order.
+func paretoFront(pts []Point) []Point {
+	var f frontier
+	for i := range pts {
+		f.add(&pts[i])
+	}
+	sort.Slice(f.pts, func(i, j int) bool { return f.pts[i].Index < f.pts[j].Index })
+	return f.pts
+}
+
+// Select thins a frontier to at most k representatives, spread evenly
+// along the area axis (ties broken by IPC then index, so the choice is
+// deterministic). Verification budgets are finite; the spread keeps the
+// verified subset covering the whole trade-off curve rather than one
+// corner.
+func Select(pts []Point, k int) []Point {
+	if k <= 0 || len(pts) <= k {
+		out := make([]Point, len(pts))
+		copy(out, pts)
+		return out
+	}
+	byArea := make([]Point, len(pts))
+	copy(byArea, pts)
+	sort.Slice(byArea, func(i, j int) bool {
+		a, b := &byArea[i], &byArea[j]
+		if a.Pred.Area != b.Pred.Area {
+			return a.Pred.Area < b.Pred.Area
+		}
+		if a.Pred.IPC != b.Pred.IPC {
+			return a.Pred.IPC > b.Pred.IPC
+		}
+		return a.Index < b.Index
+	})
+	out := make([]Point, 0, k)
+	if k == 1 {
+		return append(out, byArea[0])
+	}
+	for i := 0; i < k; i++ {
+		// Evenly spaced positions including both endpoints.
+		pos := i * (len(byArea) - 1) / (k - 1)
+		out = append(out, byArea[pos])
+	}
+	// Positions can collide on short inputs; dedupe by index.
+	seen := map[int64]bool{}
+	dedup := out[:0]
+	for _, p := range out {
+		if !seen[p.Index] {
+			seen[p.Index] = true
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup
+}

@@ -1,0 +1,73 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"visasim/internal/harness"
+	"visasim/internal/twin"
+)
+
+// Verified is a frontier point together with the full simulator's answer
+// for it.
+type Verified struct {
+	Point
+	Key string
+	Obs twin.Observed
+}
+
+// VerifyKey is the stable harness key a frontier point simulates under:
+// "explore/<index>". The index is a bijection with the design point, so
+// the key is content-stable across runs of the same space.
+func VerifyKey(p *Point) string {
+	return fmt.Sprintf("explore/%d", p.Index)
+}
+
+// Cells materialises the harness cells a set of frontier points verifies
+// as, using the model's calibration budget so the twin and the simulator
+// are compared like for like.
+func Cells(m *twin.Model, pts []Point) ([]harness.Cell, error) {
+	cells := make([]harness.Cell, 0, len(pts))
+	for i := range pts {
+		cfg, err := m.ConfigFor(&pts[i].In)
+		if err != nil {
+			return nil, fmt.Errorf("explore: point %d: %w", pts[i].Index, err)
+		}
+		cells = append(cells, harness.Cell{Key: VerifyKey(&pts[i]), Cfg: cfg})
+	}
+	if err := harness.ValidateKeys(cells); err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// Verify runs the given frontier points through the full simulator via
+// runner — the same seam experiments, visasimd and the dispatch cluster
+// share; nil means the local harness — and returns them with observations
+// attached, sorted by index.
+func Verify(m *twin.Model, pts []Point, runner twin.Runner, workers int) ([]Verified, error) {
+	cells, err := Cells(m, pts)
+	if err != nil {
+		return nil, err
+	}
+	if runner == nil {
+		runner = func(cells []harness.Cell, opt harness.Options) (harness.Results, error) {
+			return harness.Run(cells, opt)
+		}
+	}
+	results, err := runner(cells, harness.Options{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("explore: verification sweep: %w", err)
+	}
+	out := make([]Verified, 0, len(pts))
+	for i := range pts {
+		key := VerifyKey(&pts[i])
+		res, ok := results[key]
+		if !ok {
+			return nil, fmt.Errorf("explore: verification returned no result for %s", key)
+		}
+		out = append(out, Verified{Point: pts[i], Key: key, Obs: twin.ObservedFrom(res)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out, nil
+}

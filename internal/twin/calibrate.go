@@ -1,0 +1,427 @@
+package twin
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"visasim/internal/core"
+	"visasim/internal/harness"
+	"visasim/internal/pipeline"
+	"visasim/internal/workload"
+)
+
+// PinnedBudget is the committed-instruction budget of the pinned
+// calibration sample. Signatures, calibration and frontier verification
+// all use it, so the twin is always compared against the simulator at the
+// operating point it was fitted for.
+const PinnedBudget = 40_000
+
+// Accuracy floors enforced by the golden regression test
+// (internal/twin, TestGoldenCalibration): a model whose calibration
+// report exceeds a MAPE floor or undershoots a Pearson floor fails the
+// build. The IPC and IQ-AVF floors are the acceptance bar; occupancy and
+// ROB AVF get looser floors because the explorer only ranks with them.
+const (
+	MAPEFloorIPC    = 0.15
+	MAPEFloorIQAVF  = 0.15
+	MAPEFloorIQOcc  = 0.25
+	MAPEFloorROBAVF = 0.30
+
+	PearsonFloorIPC   = 0.90
+	PearsonFloorIQAVF = 0.90
+)
+
+// Observed is the simulator's answer for one design point — the subset of
+// core.Result the twin predicts, plus MaxIQAVF (the DVM target reference
+// the signatures carry).
+type Observed struct {
+	IPC      float64
+	IQOcc    float64
+	IQAVF    float64
+	ROBAVF   float64
+	MaxIQAVF float64
+	ReadyLen float64
+}
+
+// ObservedFrom extracts the twin-comparable metrics from a full simulation
+// result.
+func ObservedFrom(res *core.Result) Observed {
+	return Observed{
+		IPC:      res.ThroughputIPC,
+		IQOcc:    res.MeanIQOccupancy,
+		IQAVF:    res.IQAVF,
+		ROBAVF:   res.ROBAVF,
+		MaxIQAVF: res.MaxIQAVF,
+		ReadyLen: res.MeanReadyLen,
+	}
+}
+
+// CalCell is one cell of the calibration sample: a design point plus the
+// stable key it simulates under.
+type CalCell struct {
+	Key string
+	In  Input
+}
+
+// Runner executes a batch of simulations with harness.Run semantics. The
+// local harness, a visasimd client and the dispatch coordinator all
+// satisfy it (it is the same seam as experiments.Params.Runner), so
+// calibration can run against any backend tier.
+type Runner func(cells []harness.Cell, opt harness.Options) (harness.Results, error)
+
+// PinnedSample returns the calibration sample the golden regression test
+// pins: base cells for every (mix, threads) signature, plus scheme,
+// policy, IQ-size, function-unit, DVM and composed variation cells
+// spanning every explorer axis. The sample is deterministic — same cells,
+// same keys, every call.
+func PinnedSample() []CalCell {
+	mixIdx := MixIndices()
+	refFU := RefFU()
+	halfFU := [5]int{4, 2, 2, 4, 2}
+	doubleFU := [5]int{16, 8, 8, 16, 8}
+	intLeanFU := [5]int{4, 2, 4, 8, 4}
+
+	var cells []CalCell
+	add := func(key string, in Input) {
+		cells = append(cells, CalCell{Key: "twin/" + key, In: in})
+	}
+	base := func(mix string, threads int) Input {
+		return Input{Mix: mixIdx[mix], Threads: threads,
+			Scheme: core.SchemeBase, Policy: pipeline.PolicyICOUNT,
+			IQSize: 96, FU: refFU}
+	}
+
+	// Base signatures: every Table 3 mix at every thread count. These
+	// double as the Fit measurement set.
+	for _, mix := range mixNames() {
+		for t := 1; t <= MaxThreads; t++ {
+			add(fmt.Sprintf("base/%s/t%d", mix, t), base(mix, t))
+		}
+	}
+
+	// Scheme factors under ICOUNT, every mix. The factors are fitted as
+	// per-category geometric means; covering the whole category membership
+	// keeps no mix out-of-sample, which matters because the explorer's
+	// frontier gravitates to wherever the model is most optimistic.
+	for _, s := range []core.Scheme{core.SchemeVISA, core.SchemeVISAOpt1, core.SchemeVISAOpt2} {
+		for _, mix := range mixNames() {
+			in := base(mix, 4)
+			in.Scheme = s
+			add(fmt.Sprintf("scheme/%v/%s", s, mix), in)
+		}
+	}
+
+	// Fetch-policy factors on the base scheme, every mix, for the same
+	// reason (single-mix fitting over-fits policies like PDG whose benefit
+	// varies a lot within a category).
+	policyMixes := []string{"CPU-A", "MIX-A", "MEM-A"}
+	for _, pol := range []pipeline.FetchPolicyKind{
+		pipeline.PolicySTALL, pipeline.PolicyFLUSH, pipeline.PolicyDG, pipeline.PolicyPDG} {
+		for _, mix := range mixNames() {
+			in := base(mix, 4)
+			in.Policy = pol
+			add(fmt.Sprintf("policy/%v/%s", pol, mix), in)
+		}
+	}
+
+	// Issue-queue sizing response.
+	for _, size := range []int{48, 64, 128} {
+		for _, mix := range policyMixes {
+			in := base(mix, 4)
+			in.IQSize = size
+			add(fmt.Sprintf("iq/%d/%s", size, mix), in)
+		}
+	}
+
+	// Function-unit mix response.
+	for _, fv := range []struct {
+		name string
+		fu   [5]int
+	}{{"half", halfFU}, {"double", doubleFU}, {"int-lean", intLeanFU}} {
+		for _, mix := range policyMixes {
+			in := base(mix, 4)
+			in.FU = fv.fu
+			add(fmt.Sprintf("fu/%s/%s", fv.name, mix), in)
+		}
+	}
+
+	// DVM feedback response across target depths.
+	for _, frac := range []float64{0.3, 0.5, 0.7} {
+		for _, mix := range policyMixes {
+			in := base(mix, 4)
+			in.Scheme = core.SchemeDVM
+			in.DVMFrac = frac
+			add(fmt.Sprintf("dvm/%.1f/%s", frac, mix), in)
+		}
+	}
+
+	// Composed cells: multiplicative factors under test, never used for
+	// fitting. These are the honest rows of the calibration report.
+	composed := []struct {
+		key string
+		mod func(*Input)
+	}{
+		{"visa+stall/MIX-A", func(in *Input) { in.Scheme = core.SchemeVISA; in.Policy = pipeline.PolicySTALL }},
+		{"opt2+flush/MEM-A", func(in *Input) { in.Scheme = core.SchemeVISAOpt2; in.Policy = pipeline.PolicyFLUSH }},
+		{"opt1+iq64/CPU-A", func(in *Input) { in.Scheme = core.SchemeVISAOpt1; in.IQSize = 64 }},
+		{"visa+iq128/MEM-B", func(in *Input) { in.Scheme = core.SchemeVISA; in.IQSize = 128 }},
+		{"dvm0.5+iq64/MIX-B", func(in *Input) { in.Scheme = core.SchemeDVM; in.DVMFrac = 0.5; in.IQSize = 64 }},
+		{"opt2+fuhalf/CPU-B", func(in *Input) { in.Scheme = core.SchemeVISAOpt2; in.FU = halfFU }},
+		{"visa+t2/MEM-C", func(in *Input) { in.Scheme = core.SchemeVISA; in.Threads = 2 }},
+		{"dvm0.4+pdg/MEM-A", func(in *Input) { in.Scheme = core.SchemeDVM; in.DVMFrac = 0.4; in.Policy = pipeline.PolicyPDG }},
+	}
+	for _, c := range composed {
+		mix := c.key[strings.LastIndexByte(c.key, '/')+1:]
+		in := base(mix, 4)
+		c.mod(&in)
+		add("composed/"+c.key, in)
+	}
+	return cells
+}
+
+// CellsFor materialises the harness cells a calibration sample simulates.
+func (m *Model) CellsFor(sample []CalCell) ([]harness.Cell, error) {
+	cells := make([]harness.Cell, 0, len(sample))
+	for _, cc := range sample {
+		cfg, err := m.ConfigFor(&cc.In)
+		if err != nil {
+			return nil, fmt.Errorf("twin: cell %s: %w", cc.Key, err)
+		}
+		cells = append(cells, harness.Cell{Key: cc.Key, Cfg: cfg})
+	}
+	return cells, nil
+}
+
+// MetricReport is one predicted metric's accuracy over the sample.
+type MetricReport struct {
+	Name    string
+	MAPE    float64 // mean absolute percentage error, as a fraction
+	Pearson float64 // Pearson correlation of predicted vs observed
+}
+
+// CellReport is one sample cell's predicted-vs-observed record.
+type CellReport struct {
+	Key  string
+	In   Input
+	Pred Prediction
+	Obs  Observed
+}
+
+// Report is a complete calibration: per-metric accuracy plus the per-cell
+// records it was computed from. The golden artifact under
+// testdata/golden/twin serialises exactly this.
+type Report struct {
+	Model   int // model version the report was computed against
+	Budget  uint64
+	Cells   []CellReport
+	Metrics []MetricReport
+}
+
+// Metric returns the named metric report (zero value if absent).
+func (r *Report) Metric(name string) MetricReport {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	return MetricReport{}
+}
+
+// Check enforces the accuracy floors, returning an error naming every
+// violated floor. A nil error is the twin's regression contract.
+func (r *Report) Check() error {
+	type floor struct {
+		metric     string
+		mape       float64
+		pearsonMin float64 // 0 disables
+	}
+	floors := []floor{
+		{"ipc", MAPEFloorIPC, PearsonFloorIPC},
+		{"iq-avf", MAPEFloorIQAVF, PearsonFloorIQAVF},
+		{"iq-occ", MAPEFloorIQOcc, 0},
+		{"rob-avf", MAPEFloorROBAVF, 0},
+	}
+	var errs []string
+	for _, f := range floors {
+		m := r.Metric(f.metric)
+		if m.Name == "" {
+			errs = append(errs, fmt.Sprintf("metric %s missing from report", f.metric))
+			continue
+		}
+		if m.MAPE > f.mape {
+			errs = append(errs, fmt.Sprintf("%s MAPE %.3f exceeds floor %.2f", f.metric, m.MAPE, f.mape))
+		}
+		if f.pearsonMin > 0 && m.Pearson < f.pearsonMin {
+			errs = append(errs, fmt.Sprintf("%s Pearson r %.3f below floor %.2f", f.metric, m.Pearson, f.pearsonMin))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("twin: calibration floors violated: %v", errs)
+	}
+	return nil
+}
+
+// Calibrate runs the sample through the simulator (via runner — local
+// harness, daemon or cluster) and reports the twin's accuracy against it.
+func Calibrate(m *Model, sample []CalCell, runner Runner, workers int) (*Report, error) {
+	cells, err := m.CellsFor(sample)
+	if err != nil {
+		return nil, err
+	}
+	if runner == nil {
+		runner = func(cells []harness.Cell, opt harness.Options) (harness.Results, error) {
+			return harness.Run(cells, opt)
+		}
+	}
+	results, err := runner(cells, harness.Options{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("twin: calibration sweep: %w", err)
+	}
+	observed := make(map[string]Observed, len(results))
+	for key, res := range results {
+		observed[key] = ObservedFrom(res)
+	}
+	return CalibrateAgainst(m, sample, observed)
+}
+
+// CalibrateAgainst computes the calibration report from already-measured
+// simulator metrics — e.g. the observations stored in the golden artifact,
+// which is how the drift test proves a perturbed coefficient trips the
+// floors without re-simulating.
+func CalibrateAgainst(m *Model, sample []CalCell, observed map[string]Observed) (*Report, error) {
+	rep := &Report{Model: m.Version, Budget: m.Budget}
+	var pred Prediction
+	for _, cc := range sample {
+		obs, ok := observed[cc.Key]
+		if !ok {
+			return nil, fmt.Errorf("twin: no observation for cell %s", cc.Key)
+		}
+		if err := m.Valid(&cc.In); err != nil {
+			return nil, err
+		}
+		m.Evaluate(&cc.In, &pred)
+		rep.Cells = append(rep.Cells, CellReport{Key: cc.Key, In: cc.In, Pred: pred, Obs: obs})
+	}
+	sort.Slice(rep.Cells, func(i, j int) bool { return rep.Cells[i].Key < rep.Cells[j].Key })
+
+	type series struct {
+		name string
+		pred func(*CellReport) float64
+		obs  func(*CellReport) float64
+	}
+	metrics := []series{
+		{"ipc", func(c *CellReport) float64 { return c.Pred.IPC }, func(c *CellReport) float64 { return c.Obs.IPC }},
+		{"iq-occ", func(c *CellReport) float64 { return c.Pred.IQOcc }, func(c *CellReport) float64 { return c.Obs.IQOcc }},
+		{"iq-avf", func(c *CellReport) float64 { return c.Pred.IQAVF }, func(c *CellReport) float64 { return c.Obs.IQAVF }},
+		{"rob-avf", func(c *CellReport) float64 { return c.Pred.ROBAVF }, func(c *CellReport) float64 { return c.Obs.ROBAVF }},
+	}
+	for _, s := range metrics {
+		p := make([]float64, len(rep.Cells))
+		o := make([]float64, len(rep.Cells))
+		for i := range rep.Cells {
+			p[i] = s.pred(&rep.Cells[i])
+			o[i] = s.obs(&rep.Cells[i])
+		}
+		rep.Metrics = append(rep.Metrics, MetricReport{
+			Name:    s.name,
+			MAPE:    mape(p, o),
+			Pearson: pearson(p, o),
+		})
+	}
+	return rep, nil
+}
+
+// MarshalReport serialises a calibration report as indented JSON — the
+// golden artifact format under testdata/golden/twin.
+func MarshalReport(r *Report) ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// UnmarshalReport parses a serialised calibration report.
+func UnmarshalReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("twin: parsing report: %w", err)
+	}
+	return &r, nil
+}
+
+// ObservedByKey extracts the report's simulator observations, keyed like
+// the sample — what CalibrateAgainst consumes.
+func (r *Report) ObservedByKey() map[string]Observed {
+	out := make(map[string]Observed, len(r.Cells))
+	for _, c := range r.Cells {
+		out[c.Key] = c.Obs
+	}
+	return out
+}
+
+// mape is the mean absolute percentage error of pred against obs,
+// as a fraction (0.1 = 10%). Cells whose observation is (numerically)
+// zero are skipped rather than divided by.
+func mape(pred, obs []float64) float64 {
+	var sum float64
+	n := 0
+	for i := range obs {
+		if math.Abs(obs[i]) < epsilon {
+			continue
+		}
+		sum += math.Abs(pred[i]-obs[i]) / math.Abs(obs[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// pearson is the Pearson correlation coefficient of the two series.
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx < epsilon || syy < epsilon {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MixIndices maps mix names to their index in workload.Mixes().
+func MixIndices() map[string]int {
+	idx := make(map[string]int)
+	for i, m := range workload.Mixes() {
+		idx[m.Name] = i
+	}
+	return idx
+}
+
+func mixNames() []string {
+	mixes := workload.Mixes()
+	names := make([]string, len(mixes))
+	for i, m := range mixes {
+		names[i] = m.Name
+	}
+	return names
+}

@@ -1,0 +1,355 @@
+package twin
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"visasim/internal/core"
+	"visasim/internal/harness"
+	"visasim/internal/pipeline"
+)
+
+// -update refits the model against fresh simulator measurements and
+// rewrites both golden artifacts: the embedded model (model.json, this
+// package) and the calibration report (testdata/golden/twin).
+var update = flag.Bool("update", false, "refit the twin model and regenerate golden calibration artifacts")
+
+const goldenReportPath = "../../testdata/golden/twin/calibration.json"
+
+// measureSample runs the pinned sample through the real simulator. DVM
+// cells need an absolute reliability target derived from the base
+// machine's MaxIQAVF, so measurement is two-phase: every non-DVM cell
+// first (which includes all base cells), then the DVM cells with targets
+// taken from the matching base observations.
+func measureSample(t *testing.T, sample []CalCell) map[string]Observed {
+	t.Helper()
+	var phase1, phase2 []CalCell
+	for _, cc := range sample {
+		if cc.In.Scheme == core.SchemeDVM {
+			phase2 = append(phase2, cc)
+		} else {
+			phase1 = append(phase1, cc)
+		}
+	}
+	observed := make(map[string]Observed, len(sample))
+	run := func(cells []harness.Cell) {
+		t.Helper()
+		results, err := harness.Run(cells, harness.Options{})
+		if err != nil {
+			t.Fatalf("measuring sample: %v", err)
+		}
+		for key, res := range results {
+			observed[key] = ObservedFrom(res)
+		}
+	}
+	cells1 := make([]harness.Cell, 0, len(phase1))
+	for _, cc := range phase1 {
+		cfg, err := cc.In.ConfigWith(PinnedBudget, 0)
+		if err != nil {
+			t.Fatalf("cell %s: %v", cc.Key, err)
+		}
+		cells1 = append(cells1, harness.Cell{Key: cc.Key, Cfg: cfg})
+	}
+	run(cells1)
+
+	cells2 := make([]harness.Cell, 0, len(phase2))
+	for _, cc := range phase2 {
+		baseKey := fmt.Sprintf("twin/base/%s/t%d", mixNames()[cc.In.Mix], cc.In.Threads)
+		base, ok := observed[baseKey]
+		if !ok {
+			t.Fatalf("cell %s: no base observation %s for its DVM target", cc.Key, baseKey)
+		}
+		cfg, err := cc.In.ConfigWith(PinnedBudget, cc.In.DVMFrac*base.MaxIQAVF)
+		if err != nil {
+			t.Fatalf("cell %s: %v", cc.Key, err)
+		}
+		cells2 = append(cells2, harness.Cell{Key: cc.Key, Cfg: cfg})
+	}
+	run(cells2)
+	return observed
+}
+
+// TestGoldenCalibration is the twin's regression contract: the shipped
+// model, evaluated against a live simulator run of the pinned sample,
+// must stay within the accuracy floors and must match the golden
+// calibration report. With -update it refits and rewrites both artifacts.
+func TestGoldenCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live simulator calibration skipped in -short mode")
+	}
+	sample := PinnedSample()
+
+	if *update {
+		observed := measureSample(t, sample)
+		model, err := Fit(sample, observed)
+		if err != nil {
+			t.Fatalf("fit: %v", err)
+		}
+		report, err := CalibrateAgainst(model, sample, observed)
+		if err != nil {
+			t.Fatalf("calibrate: %v", err)
+		}
+		if err := report.Check(); err != nil {
+			t.Fatalf("refitted model violates its own floors: %v", err)
+		}
+		blob, err := MarshalModel(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("model.json", blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rblob, err := MarshalReport(report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenReportPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenReportPath, rblob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range report.Metrics {
+			t.Logf("refit: %-8s MAPE %5.2f%%  Pearson r %.4f", m.Name, 100*m.MAPE, m.Pearson)
+		}
+		return
+	}
+
+	model, err := Default()
+	if err != nil {
+		t.Fatalf("loading embedded model: %v", err)
+	}
+	report, err := Calibrate(model, sample, nil, 0)
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	for _, m := range report.Metrics {
+		t.Logf("%-8s MAPE %5.2f%%  Pearson r %.4f", m.Name, 100*m.MAPE, m.Pearson)
+	}
+	if err := report.Check(); err != nil {
+		t.Errorf("accuracy floors: %v", err)
+	}
+
+	goldenBlob, err := os.ReadFile(goldenReportPath)
+	if err != nil {
+		t.Fatalf("reading golden report (run with -update to create): %v", err)
+	}
+	golden, err := UnmarshalReport(goldenBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Model != report.Model || golden.Budget != report.Budget {
+		t.Fatalf("golden report is for model v%d budget %d, live is v%d budget %d",
+			golden.Model, golden.Budget, report.Model, report.Budget)
+	}
+	if len(golden.Cells) != len(report.Cells) {
+		t.Fatalf("golden report has %d cells, live has %d", len(golden.Cells), len(report.Cells))
+	}
+	// The simulator and the twin are both deterministic, so live and
+	// golden must agree to float round-off; the tolerance only shields
+	// against cross-platform libm differences.
+	const tol = 1e-9
+	for i := range golden.Cells {
+		g, l := &golden.Cells[i], &report.Cells[i]
+		if g.Key != l.Key {
+			t.Fatalf("cell %d: golden key %s, live key %s", i, g.Key, l.Key)
+		}
+		checkClose(t, g.Key+" obs ipc", g.Obs.IPC, l.Obs.IPC, tol)
+		checkClose(t, g.Key+" obs iq-avf", g.Obs.IQAVF, l.Obs.IQAVF, tol)
+		checkClose(t, g.Key+" pred ipc", g.Pred.IPC, l.Pred.IPC, tol)
+		checkClose(t, g.Key+" pred iq-avf", g.Pred.IQAVF, l.Pred.IQAVF, tol)
+	}
+	for _, gm := range golden.Metrics {
+		lm := report.Metric(gm.Name)
+		checkClose(t, gm.Name+" MAPE", gm.MAPE, lm.MAPE, tol)
+		checkClose(t, gm.Name+" Pearson", gm.Pearson, lm.Pearson, tol)
+	}
+}
+
+func checkClose(t *testing.T, what string, want, got, tol float64) {
+	t.Helper()
+	if math.Abs(want-got) > tol*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s: golden %v, live %v", what, want, got)
+	}
+}
+
+// TestCalibrationDrift proves the harness can catch a regression: with
+// one perturbed coefficient, the same golden observations must trip the
+// MAPE floors. No simulation runs — the observations come from the golden
+// artifact.
+func TestCalibrationDrift(t *testing.T) {
+	model, golden := loadGolden(t)
+	sample := PinnedSample()
+	observed := golden.ObservedByKey()
+
+	// Control: the unperturbed model passes against the same data.
+	report, err := CalibrateAgainst(model, sample, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Check(); err != nil {
+		t.Fatalf("unperturbed model fails its floors: %v", err)
+	}
+
+	// Perturb exactly one coefficient: a broken DVM overshoot predicts
+	// clamped AVFs several times above what the controller delivers.
+	blob, err := MarshalModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed, err := UnmarshalModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed.DVM.Overshoot = 5
+	report, err = CalibrateAgainst(perturbed, sample, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = report.Check()
+	if err == nil {
+		t.Fatal("perturbed model passed the calibration floors; the harness cannot catch drift")
+	}
+	if !strings.Contains(err.Error(), "iq-avf MAPE") {
+		t.Errorf("expected an iq-avf MAPE violation, got: %v", err)
+	}
+}
+
+func loadGolden(t *testing.T) (*Model, *Report) {
+	t.Helper()
+	model, err := Default()
+	if err != nil {
+		t.Fatalf("loading embedded model: %v", err)
+	}
+	blob, err := os.ReadFile(goldenReportPath)
+	if err != nil {
+		t.Fatalf("reading golden report (run with -update to create): %v", err)
+	}
+	golden, err := UnmarshalReport(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, golden
+}
+
+// TestEvaluateIdentityAtBase pins the model's structural property that
+// makes calibration meaningful: at the reference geometry, base scheme and
+// ICOUNT, the prediction reproduces the measured signature exactly.
+func TestEvaluateIdentityAtBase(t *testing.T) {
+	model, _ := loadGolden(t)
+	refFU := RefFU()
+	var pred Prediction
+	for mi := range model.Base {
+		for ti := range model.Base[mi] {
+			sig := model.Base[mi][ti]
+			in := Input{Mix: mi, Threads: ti + 1, Scheme: core.SchemeBase,
+				Policy: pipeline.PolicyICOUNT, IQSize: model.RefIQ, FU: refFU}
+			model.Evaluate(&in, &pred)
+			const tol = 1e-9
+			checkClose(t, fmt.Sprintf("mix %d t%d ipc", mi, ti+1), sig.IPC, pred.IPC, tol)
+			checkClose(t, fmt.Sprintf("mix %d t%d occ", mi, ti+1), sig.IQOcc, pred.IQOcc, tol)
+			checkClose(t, fmt.Sprintf("mix %d t%d iq-avf", mi, ti+1), sig.IQAVF, pred.IQAVF, tol)
+			checkClose(t, fmt.Sprintf("mix %d t%d rob-avf", mi, ti+1), sig.ROBAVF, pred.ROBAVF, tol)
+		}
+	}
+}
+
+// TestEvaluateZeroAlloc pins the hot-path property the explorer depends
+// on: screening a design point allocates nothing.
+func TestEvaluateZeroAlloc(t *testing.T) {
+	model, _ := loadGolden(t)
+	in := Input{Mix: 3, Threads: 4, Scheme: core.SchemeDVM, Policy: pipeline.PolicyFLUSH,
+		IQSize: 64, DVMFrac: 0.5, FU: RefFU()}
+	if err := model.Valid(&in); err != nil {
+		t.Fatal(err)
+	}
+	var pred Prediction
+	allocs := testing.AllocsPerRun(1000, func() {
+		model.Evaluate(&in, &pred)
+	})
+	if allocs != 0 {
+		t.Fatalf("Evaluate allocates %.1f objects per call; the screening path must be allocation-free", allocs)
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	model, _ := loadGolden(t)
+	ok := Input{Mix: 0, Threads: 4, Scheme: core.SchemeVISA,
+		Policy: pipeline.PolicyICOUNT, IQSize: 96, FU: RefFU()}
+	if err := model.Valid(&ok); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	cases := map[string]func(*Input){
+		"mix-low":         func(in *Input) { in.Mix = -1 },
+		"mix-high":        func(in *Input) { in.Mix = len(model.Base) },
+		"threads-low":     func(in *Input) { in.Threads = 0 },
+		"threads-high":    func(in *Input) { in.Threads = MaxThreads + 1 },
+		"dvm-static":      func(in *Input) { in.Scheme = core.SchemeDVMStatic },
+		"iq-small":        func(in *Input) { in.IQSize = 4 },
+		"dvm-no-frac":     func(in *Input) { in.Scheme = core.SchemeDVM },
+		"frac-without":    func(in *Input) { in.DVMFrac = 0.5 },
+		"frac-over-one":   func(in *Input) { in.Scheme = core.SchemeDVM; in.DVMFrac = 1.5 },
+		"no-int-alu":      func(in *Input) { in.FU[0] = 0 },
+		"no-load-store":   func(in *Input) { in.FU[2] = 0 },
+		"negative-fp-alu": func(in *Input) { in.FU[3] = -1 },
+	}
+	for name, mod := range cases {
+		in := ok
+		mod(&in)
+		if err := model.Valid(&in); err == nil {
+			t.Errorf("%s: invalid input accepted: %+v", name, in)
+		}
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	model, _ := loadGolden(t)
+	blob, err := MarshalModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := MarshalModel(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatal("model does not round-trip byte-identically through JSON")
+	}
+}
+
+func TestPinnedSampleWellFormed(t *testing.T) {
+	sample := PinnedSample()
+	if len(sample) < 80 {
+		t.Fatalf("pinned sample has only %d cells", len(sample))
+	}
+	seen := map[string]bool{}
+	for _, cc := range sample {
+		if seen[cc.Key] {
+			t.Fatalf("duplicate sample key %s", cc.Key)
+		}
+		seen[cc.Key] = true
+	}
+	model, _ := loadGolden(t)
+	cells, err := model.CellsFor(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := harness.ValidateKeys(cells); err != nil {
+		t.Fatal(err)
+	}
+	// Every cell's config must be one the simulator accepts.
+	for _, c := range cells {
+		if err := c.Cfg.Machine.Validate(); err != nil {
+			t.Errorf("cell %s: invalid machine: %v", c.Key, err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package twin
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"visasim/internal/core"
+	"visasim/internal/pipeline"
+	"visasim/internal/workload"
+)
+
+// Fit derives a complete Model from simulator observations of the pinned
+// sample (or any sample with the same key structure):
+//
+//  1. base/ cells become the per-(mix, threads) signatures, measured
+//     directly;
+//  2. fu/ and iq/ cells fit the function-unit and finite-buffer
+//     coefficients by deterministic grid search;
+//  3. policy/ and scheme/ cells fit the per-category correction factors
+//     as geometric-mean ratios of observed over predicted;
+//  4. dvm/ cells fit the feedback-clamp coefficients by grid search.
+//
+// composed/ cells are deliberately ignored: they exist so the calibration
+// report always contains points the fit never saw.
+//
+// Everything is deterministic — fixed iteration order, strict-improvement
+// grid search — so refitting against the same observations reproduces the
+// model byte-identically.
+func Fit(sample []CalCell, observed map[string]Observed) (*Model, error) {
+	m := &Model{
+		Version: 1,
+		Budget:  PinnedBudget,
+		RefIQ:   refIQSize,
+		RefFU:   RefFU(),
+		// Neutral starting coefficients; the grid searches below move
+		// them. Q and P (smooth-min sharpness) and EPen stay fixed:
+		// they trade against the other coefficients almost perfectly,
+		// so fitting them only adds degrees of freedom.
+		IQ:  IQCoeffs{Fill: 0.9, Q: 6, EIPC: 0.5, Grow: 0, GrowOcc: 0},
+		FU:  FUCoeffs{Headroom: 0.9, P: 4, OccK: 0.5},
+		DVM: DVMCoeffs{Overshoot: 0.9, Pen: 0.3, EPen: 1, OccPen: 0.3, ROBPen: 0},
+	}
+	mixes := workload.Mixes()
+	m.Base = make([][]Signature, len(mixes))
+	for i := range m.Base {
+		m.Base[i] = make([]Signature, MaxThreads)
+	}
+	m.SchemeF = identityFactors(core.NumSchemes)
+	m.PolicyF = identityFactors(pipeline.NumPolicies)
+
+	// Group the sample by key family.
+	groups := map[string][]CalCell{}
+	for _, cc := range sample {
+		parts := strings.SplitN(strings.TrimPrefix(cc.Key, "twin/"), "/", 2)
+		groups[parts[0]] = append(groups[parts[0]], cc)
+	}
+	obsFor := func(cc CalCell) (Observed, error) {
+		o, ok := observed[cc.Key]
+		if !ok {
+			return Observed{}, fmt.Errorf("twin: fit: no observation for %s", cc.Key)
+		}
+		return o, nil
+	}
+
+	// 1. Signatures.
+	seen := make(map[[2]int]bool)
+	for _, cc := range groups["base"] {
+		o, err := obsFor(cc)
+		if err != nil {
+			return nil, err
+		}
+		mix := mixes[cc.In.Mix]
+		cat, err := prefixCategory(mix, cc.In.Threads)
+		if err != nil {
+			return nil, err
+		}
+		share, err := prefixShares(mix, cc.In.Threads)
+		if err != nil {
+			return nil, err
+		}
+		m.Base[cc.In.Mix][cc.In.Threads-1] = Signature{
+			IPC: o.IPC, IQOcc: o.IQOcc, IQAVF: o.IQAVF, ROBAVF: o.ROBAVF,
+			MaxIQAVF: o.MaxIQAVF, ReadyLen: o.ReadyLen,
+			Share: share, Cat: cat,
+		}
+		seen[[2]int{cc.In.Mix, cc.In.Threads}] = true
+	}
+	for mi := range m.Base {
+		for t := 1; t <= MaxThreads; t++ {
+			if !seen[[2]int{mi, t}] {
+				return nil, fmt.Errorf("twin: fit: sample has no base cell for mix %s at %d threads", mixes[mi].Name, t)
+			}
+		}
+	}
+
+	// 2. Function-unit coefficients, then issue-queue coefficients. The
+	// groups are orthogonal (fu/ cells run the reference queue, iq/
+	// cells the reference pools), so the order only matters for the
+	// tiny smooth-min shoulder.
+	if cells := groups["fu"]; len(cells) > 0 {
+		if err := gridSearch(m, cells, observed, fuGrid); err != nil {
+			return nil, err
+		}
+	}
+	if cells := groups["iq"]; len(cells) > 0 {
+		if err := gridSearch(m, cells, observed, iqGrid); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Correction factors: observed/predicted ratios, geometric mean
+	// per (policy|scheme, category).
+	if err := fitFactors(m, groups["policy"], observed, func(in *Input) int { return int(in.Policy) }, m.PolicyF); err != nil {
+		return nil, err
+	}
+	if err := fitFactors(m, groups["scheme"], observed, func(in *Input) int { return int(in.Scheme) }, m.SchemeF); err != nil {
+		return nil, err
+	}
+
+	// 4. DVM feedback clamp.
+	if cells := groups["dvm"]; len(cells) > 0 {
+		if err := gridSearch(m, cells, observed, dvmGrid); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// refIQSize is the Table 2 issue-queue size the signatures are measured
+// on.
+const refIQSize = 96
+
+func identityFactors(n int) [][]Factors {
+	out := make([][]Factors, n)
+	for i := range out {
+		out[i] = []Factors{unitFactors(), unitFactors(), unitFactors()}
+	}
+	return out
+}
+
+// cellLoss is the squared relative error of the twin on one cell, summed
+// over the metrics the coefficients under fit can move.
+func cellLoss(m *Model, cc CalCell, o Observed) float64 {
+	var p Prediction
+	m.Evaluate(&cc.In, &p)
+	loss := 0.0
+	add := func(pred, obs float64) {
+		if math.Abs(obs) < epsilon {
+			return
+		}
+		e := (pred - obs) / obs
+		loss += e * e
+	}
+	add(p.IPC, o.IPC)
+	add(p.IQOcc, o.IQOcc)
+	add(p.IQAVF, o.IQAVF)
+	add(p.ROBAVF, o.ROBAVF)
+	return loss
+}
+
+// gridDim is one coefficient axis of a grid search: where it lives in the
+// model and the values to try.
+type gridDim struct {
+	set    func(*Model, float64)
+	values []float64
+}
+
+// seq enumerates from..to inclusive in steps of by (endpoint included
+// within a half-step tolerance).
+func seq(from, to, by float64) []float64 {
+	var out []float64
+	for v := from; v <= to+by/2; v += by {
+		out = append(out, v)
+	}
+	return out
+}
+
+var fuGrid = []gridDim{
+	{func(m *Model, v float64) { m.FU.Headroom = v }, seq(0.4, 1.4, 0.02)},
+	{func(m *Model, v float64) { m.FU.OccK = v }, seq(0, 2, 0.1)},
+}
+
+var iqGrid = []gridDim{
+	{func(m *Model, v float64) { m.IQ.Fill = v }, seq(0.6, 1.0, 0.02)},
+	{func(m *Model, v float64) { m.IQ.EIPC = v }, seq(0.1, 1.5, 0.05)},
+	{func(m *Model, v float64) { m.IQ.Grow = v }, seq(0, 0.5, 0.025)},
+	{func(m *Model, v float64) { m.IQ.GrowOcc = v }, seq(0, 2, 0.25)},
+}
+
+var dvmGrid = []gridDim{
+	{func(m *Model, v float64) { m.DVM.Overshoot = v }, seq(0.4, 1.2, 0.025)},
+	{func(m *Model, v float64) { m.DVM.Pen = v }, seq(0, 1, 0.05)},
+	{func(m *Model, v float64) { m.DVM.OccPen = v }, seq(0, 1, 0.05)},
+	{func(m *Model, v float64) { m.DVM.ROBPen = v }, seq(-0.5, 1, 0.05)},
+}
+
+// gridSearch exhaustively minimises the summed cell loss over the cross
+// product of the dimensions' values, writing the best combination into m.
+// Ties keep the first (lowest-index) combination, so the result is
+// deterministic.
+func gridSearch(m *Model, cells []CalCell, observed map[string]Observed, dims []gridDim) error {
+	for _, cc := range cells {
+		if _, ok := observed[cc.Key]; !ok {
+			return fmt.Errorf("twin: fit: no observation for %s", cc.Key)
+		}
+	}
+	best := math.Inf(1)
+	bestIdx := make([]int, len(dims))
+	idx := make([]int, len(dims))
+	for {
+		for d, i := range idx {
+			dims[d].set(m, dims[d].values[i])
+		}
+		loss := 0.0
+		for _, cc := range cells {
+			loss += cellLoss(m, cc, observed[cc.Key])
+		}
+		if loss < best {
+			best = loss
+			copy(bestIdx, idx)
+		}
+		// Odometer increment.
+		d := len(idx) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < len(dims[d].values) {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	for d, i := range bestIdx {
+		dims[d].set(m, dims[d].values[i])
+	}
+	return nil
+}
+
+// fitFactors computes per-(kind, category) correction factors as the
+// geometric mean of observed/predicted ratios, with the target factor row
+// held at identity while predicting.
+func fitFactors(m *Model, cells []CalCell, observed map[string]Observed, kindOf func(*Input) int, out [][]Factors) error {
+	type acc struct {
+		logIPC, logDens, logOcc, logROB float64
+		n                               int
+	}
+	accs := map[[2]int]*acc{}
+	for _, cc := range cells {
+		o, ok := observed[cc.Key]
+		if !ok {
+			return fmt.Errorf("twin: fit: no observation for %s", cc.Key)
+		}
+		var p Prediction
+		m.Evaluate(&cc.In, &p)
+		cat := m.Base[cc.In.Mix][cc.In.Threads-1].Cat
+		k := [2]int{kindOf(&cc.In), cat}
+		a := accs[k]
+		if a == nil {
+			a = &acc{}
+			accs[k] = a
+		}
+		ratio := func(obs, pred float64) float64 {
+			if pred < epsilon || obs < epsilon {
+				return 1
+			}
+			return obs / pred
+		}
+		rOcc := ratio(o.IQOcc, p.IQOcc)
+		a.logIPC += math.Log(ratio(o.IPC, p.IPC))
+		a.logOcc += math.Log(rOcc)
+		// AVF decomposes as dens·occ/size: attribute the occupancy
+		// move to Occ and the remainder to Dens.
+		a.logDens += math.Log(ratio(o.IQAVF, p.IQAVF) / rOcc)
+		a.logROB += math.Log(ratio(o.ROBAVF, p.ROBAVF))
+		a.n++
+	}
+	for k, a := range accs {
+		n := float64(a.n)
+		out[k[0]][k[1]] = Factors{
+			IPC:  math.Exp(a.logIPC / n),
+			Dens: math.Exp(a.logDens / n),
+			Occ:  math.Exp(a.logOcc / n),
+			ROB:  math.Exp(a.logROB / n),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package twin
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// modelVersion guards the serialised form; bump on any change to the
+// model equations or the Model layout, and refit (go test ./internal/twin
+// -run TestGoldenCalibration -update).
+const modelVersion = 1
+
+//go:embed model.json
+var embeddedModel []byte
+
+var (
+	defaultOnce  sync.Once
+	defaultModel *Model
+	defaultErr   error
+)
+
+// Default returns the shipped calibrated model — the one the golden
+// calibration artifacts under testdata/golden/twin were produced with.
+// The returned model is shared; treat it as read-only.
+func Default() (*Model, error) {
+	defaultOnce.Do(func() {
+		defaultModel, defaultErr = UnmarshalModel(embeddedModel)
+	})
+	return defaultModel, defaultErr
+}
+
+// MarshalModel serialises a model in the format UnmarshalModel accepts
+// (indented JSON; encoding/json round-trips float64 exactly, so a model
+// survives marshal→unmarshal byte-identically).
+func MarshalModel(m *Model) ([]byte, error) {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// UnmarshalModel parses a serialised model, rejecting unknown fields and
+// version mismatches.
+func UnmarshalModel(data []byte) (*Model, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Model
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("twin: parsing model: %w", err)
+	}
+	if m.Version != modelVersion {
+		return nil, fmt.Errorf("twin: model version %d, want %d (refit with -update)", m.Version, modelVersion)
+	}
+	if len(m.Base) == 0 {
+		return nil, fmt.Errorf("twin: model has no signatures")
+	}
+	return &m, nil
+}

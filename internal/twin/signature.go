@@ -1,0 +1,88 @@
+package twin
+
+import (
+	"visasim/internal/config"
+	"visasim/internal/isa"
+	"visasim/internal/workload"
+)
+
+// configForFU is the reference (Table 2) machine with the design point's
+// issue-queue size and function-unit pools substituted in.
+func configForFU(iqSize int, fu *[5]int) config.Machine {
+	m := config.Default()
+	m.IQSize = iqSize
+	m.IntALUs = fu[isa.FUIntALU]
+	m.IntMulDivs = fu[isa.FUIntMulDiv]
+	m.LoadStores = fu[isa.FULoadStore]
+	m.FPALUs = fu[isa.FUFPALU]
+	m.FPMulDivs = fu[isa.FUFPMulDiv]
+	return m
+}
+
+// RefFU returns the Table 2 function-unit mix, indexed by isa.FUClass.
+func RefFU() [5]int {
+	return config.Default().FUCount()
+}
+
+// prefixCategory classifies the first n benchmarks of a mix the same way
+// Table 3 classifies full mixes: all CPU-intensive → CPU (0), all
+// memory-intensive → MEM (2), otherwise MIX (1). Thread-count prefixes of
+// a MIX workload can land in a different category than the full mix —
+// what matters for the correction factors is the behaviour of the threads
+// actually running.
+func prefixCategory(mix workload.Mix, n int) (int, error) {
+	mem := 0
+	for _, name := range mix.Benchmarks[:n] {
+		b, err := workload.Get(name)
+		if err != nil {
+			return 0, err
+		}
+		if b.Class == workload.MEMIntensive {
+			mem++
+		}
+	}
+	switch mem {
+	case 0:
+		return 0, nil
+	case n:
+		return 2, nil
+	default:
+		return 1, nil
+	}
+}
+
+// prefixShares estimates the per-function-unit-class share of issued
+// instructions for the first n benchmarks of a mix, from the generators'
+// static kind weights. Control instructions and nops execute on the
+// integer ALU pool, and every thread contributes equally (the fetch
+// policies keep thread progress roughly balanced over a whole run).
+func prefixShares(mix workload.Mix, n int) ([5]float64, error) {
+	var shares [5]float64
+	for _, name := range mix.Benchmarks[:n] {
+		b, err := workload.Get(name)
+		if err != nil {
+			return shares, err
+		}
+		km := b.Params.Mix
+		total := km.IntALU + km.IntMul + km.IntDiv + km.Load + km.Store +
+			km.FPALU + km.FPMul + km.FPDiv + km.Nop
+		// Control flow is emitted structurally, not drawn from the
+		// mix; a fixed estimate of its dynamic share routes it to the
+		// integer ALUs alongside nops.
+		const controlShare = 0.12
+		if total <= 0 {
+			shares[isa.FUIntALU] += 1
+			continue
+		}
+		scale := (1 - controlShare) / total
+		shares[isa.FUIntALU] += controlShare + scale*(km.IntALU+km.Nop)
+		shares[isa.FUIntMulDiv] += scale * (km.IntMul + km.IntDiv)
+		shares[isa.FULoadStore] += scale * (km.Load + km.Store)
+		shares[isa.FUFPALU] += scale * km.FPALU
+		shares[isa.FUFPMulDiv] += scale * (km.FPMul + km.FPDiv)
+	}
+	for c := range shares {
+		shares[c] /= float64(n)
+	}
+	return shares, nil
+}

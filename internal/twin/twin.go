@@ -1,0 +1,404 @@
+// Package twin is an analytical model — a "digital twin" — of the
+// simulated SMT pipeline. Where the full simulator walks every cycle
+// (~milliseconds per configuration), the twin composes a calibrated
+// per-workload signature with closed-form queueing corrections and predicts
+// IPC, mean issue-queue occupancy, IQ AVF and ROB AVF in well under a
+// microsecond, with zero allocation on the evaluation path.
+//
+// The model is deliberately a *calibrated surrogate*, in the spirit of
+// Carroll & Lin's queuing model for functional-unit and issue-queue
+// configuration: per-(mix, thread-count) base signatures are measured once
+// from the simulator on the reference (Table 2) machine, and analytic
+// scaling laws — finite-buffer IQ occupancy, function-unit capability
+// bounds, per-scheme/per-policy correction factors, and a DVM feedback
+// clamp — extrapolate those signatures across the design space. Fit
+// derives every coefficient from simulator observations; Calibrate
+// measures how well the result tracks the simulator (MAPE and Pearson r
+// per metric) so the twin's accuracy is itself a regression-tested
+// artifact (see testdata/golden/twin and DESIGN.md §11).
+//
+// The intended workflow is screen-then-verify: internal/explore screens
+// millions of configurations through Evaluate, keeps only the Pareto
+// frontier over (IPC, IQ AVF, area), and hands that frontier to the full
+// simulator for verification. The twin ranks and prunes; the simulator
+// decides.
+package twin
+
+import (
+	"fmt"
+	"math"
+
+	"visasim/internal/core"
+	"visasim/internal/isa"
+	"visasim/internal/pipeline"
+	"visasim/internal/workload"
+)
+
+// MaxThreads is the largest thread count the twin models (the Table 3
+// mixes co-schedule four threads; prefixes model 1..4).
+const MaxThreads = 4
+
+// NumMixes is the number of Table 3 workload mixes the twin carries
+// signatures for.
+var NumMixes = len(workload.Mixes())
+
+// Input selects one point of the design space. It is a compact value type:
+// the explorer generates billions of them without touching the heap, and
+// ConfigFor materialises a full core.Config only for the handful of points
+// that survive screening.
+type Input struct {
+	// Mix indexes workload.Mixes(); Threads co-schedules the first
+	// Threads benchmarks of that mix (1..MaxThreads).
+	Mix     int
+	Threads int
+
+	Scheme core.Scheme
+	Policy pipeline.FetchPolicyKind
+
+	// IQSize is the shared issue-queue capacity (entries).
+	IQSize int
+	// DVMFrac expresses the DVM reliability target as a fraction of the
+	// base machine's MaxIQAVF for this (mix, threads) — the paper's
+	// convention. It must be 0 unless Scheme is core.SchemeDVM.
+	DVMFrac float64
+	// FU is the function-unit pool mix, indexed by isa.FUClass.
+	FU [5]int
+}
+
+// Prediction is the twin's estimate for one Input.
+type Prediction struct {
+	IPC    float64 // throughput IPC
+	IQOcc  float64 // mean issue-queue occupancy (entries)
+	IQAVF  float64 // issue-queue architectural vulnerability factor
+	ROBAVF float64 // reorder-buffer AVF
+
+	// DVMTarget is the absolute AVF target implied by Input.DVMFrac
+	// (zero for non-DVM schemes); ConfigFor uses it so verification
+	// simulates exactly the machine the twin predicted.
+	DVMTarget float64
+
+	// Area is the area proxy the explorer trades against IPC and AVF
+	// (see AreaProxy).
+	Area float64
+}
+
+// Signature is the measured behaviour of one (mix, thread-count) workload
+// on the reference machine: base scheme, ICOUNT fetch, Table 2 geometry.
+// Everything else the twin predicts is a correction applied to these.
+type Signature struct {
+	IPC      float64 // throughput IPC
+	IQOcc    float64 // mean IQ occupancy (entries)
+	IQAVF    float64 // whole-run IQ AVF
+	ROBAVF   float64 // whole-run ROB AVF
+	MaxIQAVF float64 // peak 10K-cycle interval IQ AVF (DVM's reference)
+	ReadyLen float64 // mean ready-queue depth
+
+	// Share is the estimated fraction of issued instructions per
+	// function-unit class (static, from the mix's program parameters;
+	// control instructions execute on the integer ALUs).
+	Share [5]float64
+
+	// Cat is the workload category of this prefix (0 CPU, 1 MIX, 2 MEM),
+	// derived from the benchmarks' resource classes.
+	Cat int
+}
+
+// Factors are the multiplicative corrections one scheme or fetch policy
+// applies to the base prediction, fitted per workload category.
+//
+// Dens scales ACE density — AVF per occupied IQ entry — which is how VISA
+// issue priority shows up: the same occupancy holds its vulnerable bits
+// for less time.
+type Factors struct {
+	IPC  float64
+	Dens float64
+	Occ  float64
+	ROB  float64
+}
+
+func unitFactors() Factors { return Factors{IPC: 1, Dens: 1, Occ: 1, ROB: 1} }
+
+// IQCoeffs shape the finite-buffer issue-queue response (§11.2 of
+// DESIGN.md): occupancy demand saturates against Fill·IQSize with
+// smooth-min sharpness Q, IPC degrades as (occ/demand)^EIPC when the queue
+// clamps, and queues larger than the reference recover Grow of the
+// clamped demand.
+type IQCoeffs struct {
+	Fill    float64 // usable fraction of the queue before dispatch stalls
+	Q       float64 // smooth-min sharpness
+	EIPC    float64 // IPC sensitivity to occupancy clamping
+	Grow    float64 // IPC recovery per e-fold of extra queue beyond reference
+	GrowOcc float64 // occupancy growth coupled to the IPC recovery
+}
+
+// FUCoeffs shape the function-unit capability bound: a class with share s
+// and U units caps IPC near Headroom·U/s; P is the smooth-min sharpness
+// and OccK converts lost throughput into extra queue occupancy (blocked
+// instructions wait somewhere).
+type FUCoeffs struct {
+	Headroom float64
+	P        float64
+	OccK     float64
+}
+
+// DVMCoeffs shape the closed-loop clamp: when the open-loop AVF exceeds
+// the target T, the controller lands at Overshoot·T and pays
+// Pen·(1-T/AVF)^EPen of IPC; occupancy and ROB AVF move with OccPen and
+// ROBPen.
+type DVMCoeffs struct {
+	Overshoot float64
+	Pen       float64
+	EPen      float64
+	OccPen    float64
+	ROBPen    float64
+}
+
+// Model is the complete calibrated twin: per-(mix, threads) signatures
+// plus the fitted coefficient blocks. Models are produced by Fit, shipped
+// as the embedded model.json (Default), and pinned by the golden
+// calibration test.
+type Model struct {
+	// Version guards the serialised form.
+	Version int
+	// Budget is the committed-instruction budget the signatures were
+	// measured at; calibration and verification use the same budget so
+	// transient effects cancel.
+	Budget uint64
+	// RefIQ and RefFU are the reference geometry the signatures were
+	// measured on (Table 2: 96 entries; 8/4/4/8/4 units).
+	RefIQ int
+	RefFU [5]int
+
+	// Base holds the measured signatures, indexed [mix][threads-1].
+	Base [][]Signature
+
+	// SchemeF and PolicyF are the per-category correction factors,
+	// indexed [scheme][category] and [policy][category]. The base
+	// scheme and ICOUNT rows are identity; the DVM rows stay identity
+	// because the feedback clamp below models the controller instead.
+	SchemeF [][]Factors
+	PolicyF [][]Factors
+
+	IQ  IQCoeffs
+	FU  FUCoeffs
+	DVM DVMCoeffs
+}
+
+// Valid reports whether in addresses a point this model can evaluate.
+// Evaluate assumes a valid input; the explorer validates its Space once
+// rather than per point.
+func (m *Model) Valid(in *Input) error {
+	switch {
+	case in.Mix < 0 || in.Mix >= len(m.Base):
+		return fmt.Errorf("twin: mix index %d outside model's %d mixes", in.Mix, len(m.Base))
+	case in.Threads < 1 || in.Threads > len(m.Base[in.Mix]):
+		return fmt.Errorf("twin: %d threads outside 1..%d", in.Threads, len(m.Base[in.Mix]))
+	case int(in.Scheme) >= len(m.SchemeF):
+		return fmt.Errorf("twin: scheme %v outside model", in.Scheme)
+	case in.Scheme == core.SchemeDVMStatic:
+		return fmt.Errorf("twin: scheme %v is outside the twin's scope (see DESIGN.md §11)", in.Scheme)
+	case int(in.Policy) >= len(m.PolicyF):
+		return fmt.Errorf("twin: policy %v outside model", in.Policy)
+	case in.IQSize < 8:
+		return fmt.Errorf("twin: IQ size %d below the modelled minimum 8", in.IQSize)
+	case in.Scheme == core.SchemeDVM && (in.DVMFrac <= 0 || in.DVMFrac > 1):
+		return fmt.Errorf("twin: DVM fraction %v outside (0,1]", in.DVMFrac)
+	case in.Scheme != core.SchemeDVM && in.DVMFrac != 0:
+		return fmt.Errorf("twin: DVM fraction set on non-DVM scheme %v", in.Scheme)
+	case in.FU[isa.FUIntALU] < 1 || in.FU[isa.FULoadStore] < 1:
+		return fmt.Errorf("twin: need at least one int ALU and one load/store unit")
+	case in.FU[isa.FUIntMulDiv] < 0 || in.FU[isa.FUFPALU] < 0 || in.FU[isa.FUFPMulDiv] < 0:
+		return fmt.Errorf("twin: negative function-unit count")
+	}
+	return nil
+}
+
+// smoothMin blends min(a, b) with sharpness p: exact min as p→∞, softer
+// shoulders for finite p so fitted responses stay differentiable across
+// the capability boundary. a, b must be positive.
+func smoothMin(a, b, p float64) float64 {
+	// Harmonic-power mean: (a^-p + b^-p)^(-1/p).
+	ra := math.Pow(a, -p)
+	rb := math.Pow(b, -p)
+	return math.Pow(ra+rb, -1/p)
+}
+
+// capability is the IPC the function-unit pools can sustain for this
+// workload: the binding class's Headroom·units/share.
+func (m *Model) capability(sig *Signature, fu *[5]int) float64 {
+	bound := math.Inf(1)
+	for c := 0; c < len(fu); c++ {
+		s := sig.Share[c]
+		if s < epsilon {
+			continue
+		}
+		u := float64(fu[c])
+		if u < epsilon {
+			u = epsilon
+		}
+		if b := m.FU.Headroom * u / s; b < bound {
+			bound = b
+		}
+	}
+	return bound
+}
+
+const epsilon = 1e-9
+
+// Evaluate predicts one design point. It is the explorer's hot path:
+// no allocation, no locks, ~hundreds of nanoseconds per call. The input
+// must satisfy Valid; out is fully overwritten.
+func (m *Model) Evaluate(in *Input, out *Prediction) {
+	sig := &m.Base[in.Mix][in.Threads-1]
+	cat := sig.Cat
+
+	ipc := sig.IPC
+	occ := sig.IQOcc
+	rob := sig.ROBAVF
+	// ACE density: AVF per occupied-entry fraction on the reference
+	// queue. AVF recomposes as dens·occ/size, which is what makes the
+	// prediction respond to IQ resizing: occupancy clamps sublinearly,
+	// so smaller queues concentrate vulnerability.
+	dens := sig.IQAVF * float64(m.RefIQ) / math.Max(sig.IQOcc, epsilon)
+
+	// Function-unit capability bound, expressed relative to the
+	// reference pools so the base point reproduces its signature
+	// exactly. Each class supports at most Headroom·units/share IPC;
+	// the binding class caps throughput and the lost throughput queues
+	// up as extra occupancy.
+	capNew := m.capability(sig, &in.FU)
+	capRef := m.capability(sig, &m.RefFU)
+	fuFac := smoothMin(ipc, capNew, m.FU.P) / smoothMin(ipc, capRef, m.FU.P)
+	ipc *= fuFac
+	if fuFac < 1 {
+		occ *= 1 + m.FU.OccK*(1/fuFac-1)
+	}
+
+	// Finite-buffer issue queue, again relative to the reference
+	// geometry: demand is the occupancy the workload held on the
+	// reference queue, and the realised occupancy saturates against the
+	// usable capacity Fill·size. IPC follows the clamped fraction, and
+	// queues beyond the reference recover a fitted share of whatever the
+	// reference itself was clipping.
+	size := float64(in.IQSize)
+	ref := float64(m.RefIQ)
+	demand := occ
+	occFac := smoothMin(demand, m.IQ.Fill*size, m.IQ.Q) /
+		smoothMin(demand, m.IQ.Fill*ref, m.IQ.Q)
+	ipc *= math.Pow(occFac, m.IQ.EIPC)
+	if size > ref {
+		sat := demand / (m.IQ.Fill * ref)
+		if sat > 1 {
+			sat = 1
+		}
+		g := m.IQ.Grow * (1 - math.Exp(-(size-ref)/ref)) * sat * sat
+		ipc *= 1 + g
+		occFac *= 1 + m.IQ.GrowOcc*g
+	}
+	occ = demand * occFac
+
+	// Fetch-policy and scheme corrections (fitted per category).
+	pf := &m.PolicyF[in.Policy][cat]
+	ipc *= pf.IPC
+	dens *= pf.Dens
+	occ *= pf.Occ
+	rob *= pf.ROB
+	sf := &m.SchemeF[in.Scheme][cat]
+	ipc *= sf.IPC
+	dens *= sf.Dens
+	occ *= sf.Occ
+	rob *= sf.ROB
+
+	if occ > size {
+		occ = size
+	}
+	iqavf := dens * occ / size
+
+	out.DVMTarget = 0
+	if in.Scheme == core.SchemeDVM {
+		target := in.DVMFrac * sig.MaxIQAVF
+		out.DVMTarget = target
+		if iqavf > target && iqavf > epsilon {
+			over := 1 - target/iqavf
+			iqavf = target * m.DVM.Overshoot
+			ipc *= 1 - m.DVM.Pen*math.Pow(over, m.DVM.EPen)
+			occ *= 1 - m.DVM.OccPen*over
+			rob *= 1 - m.DVM.ROBPen*over
+		}
+	}
+
+	if iqavf < 0 {
+		iqavf = 0
+	}
+	if iqavf > 1 {
+		iqavf = 1
+	}
+	if rob < 0 {
+		rob = 0
+	}
+	if rob > 1 {
+		rob = 1
+	}
+
+	out.IPC = ipc
+	out.IQOcc = occ
+	out.IQAVF = iqavf
+	out.ROBAVF = rob
+	out.Area = AreaProxy(in.IQSize, in.Threads, &in.FU)
+}
+
+// AreaProxy is the relative silicon cost the explorer trades against IPC
+// and AVF. The weights are deliberately coarse — CAM-heavy IQ entries cost
+// ~4 units each, function units 8–24 by complexity, plus a fixed per-thread
+// ROB/LSQ overhead — because the proxy only has to order designs, not
+// price them (DESIGN.md §11.4).
+func AreaProxy(iqSize, threads int, fu *[5]int) float64 {
+	var fuWeights = [5]float64{8, 16, 12, 12, 24}
+	area := 4 * float64(iqSize)
+	for c := 0; c < len(fu); c++ {
+		area += fuWeights[c] * float64(fu[c])
+	}
+	area += 64 * float64(threads)
+	return area
+}
+
+// ConfigFor materialises the core.Config a design point verifies as: the
+// Table 2 machine with the point's IQ size and function-unit mix, the
+// mix's first Threads benchmarks, and — for DVM — the absolute reliability
+// target the twin's signature implies. The budget is the model's
+// calibration budget, so twin and simulator are compared like for like.
+func (m *Model) ConfigFor(in *Input) (core.Config, error) {
+	if err := m.Valid(in); err != nil {
+		return core.Config{}, err
+	}
+	var target float64
+	if in.Scheme == core.SchemeDVM {
+		target = in.DVMFrac * m.Base[in.Mix][in.Threads-1].MaxIQAVF
+	}
+	return in.ConfigWith(m.Budget, target)
+}
+
+// ConfigWith materialises the design point's core.Config with an explicit
+// budget and absolute DVM target (0 for non-DVM schemes). Fit uses it
+// before any model exists — the DVM target then comes straight from the
+// base cell's measured MaxIQAVF.
+func (in *Input) ConfigWith(budget uint64, dvmTarget float64) (core.Config, error) {
+	mixes := workload.Mixes()
+	if in.Mix < 0 || in.Mix >= len(mixes) {
+		return core.Config{}, fmt.Errorf("twin: mix index %d outside 0..%d", in.Mix, len(mixes)-1)
+	}
+	if in.Threads < 1 || in.Threads > MaxThreads {
+		return core.Config{}, fmt.Errorf("twin: %d threads outside 1..%d", in.Threads, MaxThreads)
+	}
+	mix := mixes[in.Mix]
+	mach := configForFU(in.IQSize, &in.FU)
+	cfg := core.Config{
+		Machine:         &mach,
+		Benchmarks:      append([]string(nil), mix.Benchmarks[:in.Threads]...),
+		Scheme:          in.Scheme,
+		Policy:          in.Policy,
+		MaxInstructions: budget,
+		DVMTarget:       dvmTarget,
+	}
+	return cfg, nil
+}

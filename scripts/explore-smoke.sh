@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Explore smoke test: screen a small seeded sample of the design space
+# through the analytical twin and verify the frontier three ways —
+#   1. locally (experiments explore, in-process harness),
+#   2. through a real visasimd daemon (experiments explore -server),
+#   3. through the dispatch coordinator (visasimctl explore -backends) —
+# then assert the three frontier reports are byte-identical apart from
+# wall-clock. Screening is deterministic and the simulator is
+# content-addressed, so any divergence is a real bug in a Runner seam.
+# Used by `make explore-smoke` and the CI explore-smoke job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18431"
+TMP="$(mktemp -d)"
+LOG="$TMP/visasimd.log"
+
+SAMPLES=20000
+SEED=7
+VERIFY=3
+
+cleanup() {
+    [ -n "${DPID:-}" ] && kill "$DPID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/visasimd" ./cmd/visasimd
+go build -o "$TMP/experiments" ./cmd/experiments
+go build -o "$TMP/visasimctl" ./cmd/visasimctl
+
+"$TMP/visasimd" -addr "$ADDR" -log-format json -log-level warn 2>"$LOG" &
+DPID=$!
+for i in $(seq 1 50); do
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    [ "$i" = 50 ] && { echo "explore-smoke: daemon never came up"; cat "$LOG"; exit 1; }
+    sleep 0.2
+done
+
+run_flags="-explore-samples $SAMPLES -explore-seed $SEED -explore-verify $VERIFY"
+"$TMP/experiments" $run_flags -explore-json "$TMP/local.json" explore >"$TMP/local.out"
+"$TMP/experiments" $run_flags -explore-json "$TMP/daemon.json" \
+    -server "http://$ADDR" explore >"$TMP/daemon.out"
+"$TMP/visasimctl" explore -backends "http://$ADDR" \
+    -samples "$SAMPLES" -seed "$SEED" -verify "$VERIFY" \
+    -json "$TMP/ctl.json" >"$TMP/ctl.out"
+
+# The table must carry verified simulator columns.
+grep -q 'ERR(IPC)' "$TMP/local.out" || {
+    echo "explore-smoke: local frontier table has no verification columns"
+    cat "$TMP/local.out"; exit 1; }
+
+# Byte-parity across Runner seams: only wall-clock may differ.
+for f in local daemon ctl; do
+    sed '/"ElapsedSec"/d' "$TMP/$f.json" >"$TMP/$f.cmp"
+done
+diff -u "$TMP/local.cmp" "$TMP/daemon.cmp" >/dev/null || {
+    echo "explore-smoke: local vs daemon frontier reports differ"
+    diff -u "$TMP/local.cmp" "$TMP/daemon.cmp" | head -40; exit 1; }
+diff -u "$TMP/local.cmp" "$TMP/ctl.cmp" >/dev/null || {
+    echo "explore-smoke: local vs coordinator frontier reports differ"
+    diff -u "$TMP/local.cmp" "$TMP/ctl.cmp" | head -40; exit 1; }
+
+# Sanity: the reports actually contain a frontier and the requested number
+# of verified cells.
+VERIFIED=$(grep -c '"Key": "explore/' "$TMP/local.json" || true)
+[ "$VERIFIED" = "$VERIFY" ] || {
+    echo "explore-smoke: expected $VERIFY verified cells, found $VERIFIED"; exit 1; }
+grep -q '"Frontier": \[' "$TMP/local.json" || {
+    echo "explore-smoke: report has no frontier"; exit 1; }
+
+echo "explore-smoke: OK ($SAMPLES screened, $VERIFY verified; local, daemon and coordinator reports byte-identical)"

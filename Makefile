@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-cover cluster-test obs-smoke explore-smoke docs-lint bench bench-throughput golden twin-golden experiments examples serve fmt vet staticcheck clean
+.PHONY: all build test test-short test-race test-cover cluster-test cluster-smoke obs-smoke explore-smoke docs-lint bench bench-throughput golden twin-golden experiments examples serve fmt vet staticcheck clean
 
 all: build test
 
@@ -30,11 +30,21 @@ test-cover:
 	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-# Cluster smoke test: boots two in-process visasimd backends and runs a
-# coordinator sweep across them, asserting byte-identical parity with a
-# local harness run plus checkpointed resume (see internal/dispatch).
+# Cluster test: in-process backends exercising the control plane end to end
+# — dispatch parity and resume, priority scheduling and starvation
+# resistance, dynamic join/drain mid-sweep, affinity routing, the HTTP
+# control plane, and tenant admission with client 429 backoff (see
+# internal/dispatch, internal/cluster, DESIGN.md §12).
 cluster-test:
-	$(GO) test -v -run 'TestClusterParity|TestResumeSkipsCompletedCells' ./internal/dispatch/
+	$(GO) test -v -run 'TestClusterParity|TestResumeSkipsCompletedCells|TestPrioritySchedulingResistsStarvation|TestJoinAndDrainMidSweepLosesNoCells|TestDynamicPoolWaitsForFirstBackend|TestAffinityRoutingBeatsRandom|TestCoordinatorAdmission|TestControlPlaneLifecycle' ./internal/dispatch/
+	$(GO) test -v -run 'TestTenantAdmission|TestClientBacksOffOn429' ./internal/server/
+
+# Cluster smoke test: real processes — a visasimcoord with zero static
+# backends, two self-registering visasimd daemons, mixed-priority tenanted
+# sweeps, and a mid-flight drain, asserting byte-identical results against
+# a local run (see scripts/cluster-smoke.sh).
+cluster-smoke:
+	./scripts/cluster-smoke.sh
 
 # Observability smoke test: boots a real visasimd, runs one cell with a
 # known sweep correlation ID, then asserts /metrics/prom serves valid
@@ -58,11 +68,11 @@ docs-lint:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Simulator- and twin-throughput benchmarks only; writes machine-readable
-# results to BENCH_pr7.json for regression tracking across PRs (earlier
-# PRs' records live in BENCH_pr1.json).
+# Simulator-, twin- and scheduler-throughput benchmarks only; writes
+# machine-readable results to BENCH_pr8.json for regression tracking across
+# PRs (earlier PRs' records live in BENCH_pr1.json and BENCH_pr7.json).
 bench-throughput:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFaultInjection|BenchmarkTwinScreen' -benchmem -bench-json BENCH_pr7.json .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFaultInjection|BenchmarkTwinScreen|BenchmarkDispatchScheduler' -benchmem -bench-json BENCH_pr8.json .
 
 # Regenerates testdata/golden from current simulator behaviour. Only run
 # after a deliberate modelling change; commit the diff with an explanation.

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"visasim/internal/dispatch"
+)
+
+// localPool is the autoscaler's actuator: it spawns visasimd processes on
+// loopback ports and registers them with the coordinator, and drains the
+// most recently spawned one away on scale-down. Only processes this pool
+// started are ever stopped — externally registered backends are not its to
+// manage.
+type localPool struct {
+	coord *dispatch.Coordinator
+	bin   string
+	args  []string
+	log   *slog.Logger
+
+	mu    sync.Mutex
+	procs []*localProc // spawn order; scale-down pops the newest
+}
+
+type localProc struct {
+	url string
+	cmd *exec.Cmd
+}
+
+func newLocalPool(coord *dispatch.Coordinator, bin string, args []string, log *slog.Logger) *localPool {
+	return &localPool{coord: coord, bin: bin, args: args, log: log}
+}
+
+// ScaleUp starts one visasimd on a fresh loopback port, waits for it to
+// answer /healthz, and joins it to the pool.
+func (p *localPool) ScaleUp(ctx context.Context) error {
+	port, err := freePort()
+	if err != nil {
+		return fmt.Errorf("picking a port: %w", err)
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	url := "http://" + addr
+	args := append([]string{"-addr", addr}, p.args...)
+	cmd := exec.Command(p.bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("spawning %s: %w", p.bin, err)
+	}
+	if err := waitHealthy(ctx, url); err != nil {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+		return fmt.Errorf("spawned backend %s never became healthy: %w", url, err)
+	}
+	if err := p.coord.Join(url); err != nil {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+		return err
+	}
+	p.mu.Lock()
+	p.procs = append(p.procs, &localProc{url: url, cmd: cmd})
+	p.mu.Unlock()
+	p.log.Info("autoscaler spawned backend", "url", url, "pid", cmd.Process.Pid)
+	return nil
+}
+
+// ScaleDown drains the most recently spawned local backend out of the pool
+// and stops its process. A pool with no local spawns holds instead of
+// touching backends somebody else registered.
+func (p *localPool) ScaleDown(ctx context.Context) error {
+	p.mu.Lock()
+	if len(p.procs) == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	proc := p.procs[len(p.procs)-1]
+	p.procs = p.procs[:len(p.procs)-1]
+	p.mu.Unlock()
+
+	if err := p.coord.Drain(ctx, proc.url); err != nil {
+		p.log.Warn("draining spawned backend failed; stopping it anyway",
+			"url", proc.url, "err", err)
+	}
+	p.stop(proc)
+	p.log.Info("autoscaler retired backend", "url", proc.url)
+	return nil
+}
+
+// StopAll terminates every spawned backend at coordinator shutdown.
+func (p *localPool) StopAll() {
+	p.mu.Lock()
+	procs := p.procs
+	p.procs = nil
+	p.mu.Unlock()
+	for _, proc := range procs {
+		p.stop(proc)
+	}
+}
+
+// stop asks the daemon to exit gracefully (it drains in-flight jobs on
+// SIGTERM) and force-kills after a grace period.
+func (p *localPool) stop(proc *localProc) {
+	proc.cmd.Process.Signal(os.Interrupt) //nolint:errcheck
+	done := make(chan struct{})
+	go func() { proc.cmd.Wait(); close(done) }() //nolint:errcheck
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		proc.cmd.Process.Kill() //nolint:errcheck
+		<-done
+	}
+}
+
+// freePort asks the kernel for an unused loopback port.
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// waitHealthy polls url/healthz until it answers 200 or ctx expires.
+func waitHealthy(ctx context.Context, url string) error {
+	client := &http.Client{Timeout: time.Second}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+			return err
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// splitCSV splits a comma-separated flag into trimmed, non-empty parts.
+func splitCSV(csv string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// splitSpace splits a space-separated flag likewise.
+func splitSpace(s string) []string {
+	return strings.Fields(s)
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"visasim/internal/cluster"
+	"visasim/internal/dispatch"
+)
+
+// This file holds the control-plane subcommands: tenant visibility and
+// membership operations against a visasimcoord (or, for tenants, a
+// tenanted visasimd — both serve GET /v1/tenants in the same shape).
+
+// cmdTenants prints tenant quotas and usage as a table (or JSON with -json).
+func cmdTenants(args []string) error {
+	fs := flag.NewFlagSet("tenants", flag.ExitOnError)
+	server := fs.String("server", "", "visasimcoord or visasimd base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "fetch deadline")
+	asJSON := fs.Bool("json", false, "print the raw JSON instead of a table")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if strings.TrimSpace(*server) == "" {
+		return fmt.Errorf("-server is required (visasimcoord or visasimd base URL)")
+	}
+	url := strings.TrimRight(strings.TrimSpace(*server), "/")
+	blob, err := fetchBody(url+"/v1/tenants", *timeout)
+	if err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+	var tenants []cluster.TenantStatus
+	if err := json.Unmarshal(blob, &tenants); err != nil {
+		return fmt.Errorf("decoding tenants: %w", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tenants)
+	}
+	if len(tenants) == 0 {
+		fmt.Println("no tenants (admission control is off)")
+		return nil
+	}
+	fmt.Printf("%-16s %-12s %10s %10s %12s %10s %10s\n",
+		"TENANT", "CLASS", "RATE/S", "QUOTA", "QUEUED", "ADMITTED", "REJECTED")
+	for _, t := range tenants {
+		quota := "unlimited"
+		if t.MaxQueued > 0 {
+			quota = fmt.Sprintf("%d", t.MaxQueued)
+		}
+		rate := "unlimited"
+		if t.RatePerSec > 0 {
+			rate = fmt.Sprintf("%g", t.RatePerSec)
+		}
+		fmt.Printf("%-16s %-12s %10s %10s %12d %10d %10d\n",
+			t.ID, t.Class, rate, quota, t.Queued, t.Admitted, t.Rejected)
+	}
+	return nil
+}
+
+// cmdBackends prints the coordinator's pool membership.
+func cmdBackends(args []string) error {
+	fs := flag.NewFlagSet("backends", flag.ExitOnError)
+	coord := fs.String("coord", "", "visasimcoord base URL")
+	timeout := fs.Duration("timeout", 10*time.Second, "fetch deadline")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if strings.TrimSpace(*coord) == "" {
+		return fmt.Errorf("-coord is required (visasimcoord base URL)")
+	}
+	url := strings.TrimRight(strings.TrimSpace(*coord), "/")
+	blob, err := fetchBody(url+"/v1/backends", *timeout)
+	if err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+	var members []dispatch.BackendStatus
+	if err := json.Unmarshal(blob, &members); err != nil {
+		return fmt.Errorf("decoding backends: %w", err)
+	}
+	if len(members) == 0 {
+		fmt.Println("no backends registered")
+		return nil
+	}
+	for _, m := range members {
+		state := "healthy"
+		if !m.Healthy {
+			state = "DOWN"
+		}
+		if m.Draining {
+			state += ", draining"
+		}
+		fmt.Printf("%-40s %-18s inflight=%d dispatched=%d\n",
+			m.URL, state, m.Inflight, m.Dispatched)
+	}
+	return nil
+}
+
+// cmdDrain gracefully drains one backend out of a coordinator's pool: no
+// new cells route to it, in-flight cells finish, then it leaves.
+func cmdDrain(args []string) error {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	coord := fs.String("coord", "", "visasimcoord base URL")
+	timeout := fs.Duration("timeout", 5*time.Minute, "drain deadline (in-flight cells must finish)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if strings.TrimSpace(*coord) == "" {
+		return fmt.Errorf("-coord is required (visasimcoord base URL)")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("drain takes exactly one backend URL argument")
+	}
+	backend := fs.Arg(0)
+	url := strings.TrimRight(strings.TrimSpace(*coord), "/")
+
+	body, err := json.Marshal(map[string]string{"url": backend})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post(url+"/v1/backends/drain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return fmt.Errorf("coordinator answered HTTP %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(blob)))
+	}
+	fmt.Printf("drained %s\n", backend)
+	var members []dispatch.BackendStatus
+	if err := json.NewDecoder(resp.Body).Decode(&members); err == nil {
+		fmt.Printf("%d backends remain in the pool\n", len(members))
+	}
+	return nil
+}

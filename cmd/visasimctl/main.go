@@ -2,17 +2,25 @@
 // backend health, dump their metrics, or dispatch a sweep across all of
 // them through the coordinator (internal/dispatch) — with the same
 // retry/failover/hedging and checkpointed-resume behaviour the experiments
-// binary gets via -backends.
+// binary gets via -backends. Against a visasimcoord control plane it also
+// lists tenants and pool membership, drains backends gracefully, and
+// submits sweeps with a tenant API key and priority class (sweep -coord);
+// sweep -local runs the same cells in-process, and because the simulator is
+// deterministic the two outputs diff byte-identically with -results-only.
 //
 // Usage:
 //
 //	visasimctl health  -backends URL,URL,...
 //	visasimctl metrics -backends URL,URL,... [-prom]
-//	visasimctl sweep   -backends URL,URL,... [-cells FILE] [-store DIR]
-//	                   [-resume] [-hedge 2s] [-workers N] [-timeout 10m]
-//	                   [-log-level info] [-log-format text] [-seed N]
+//	visasimctl sweep   (-backends URL,... | -coord URL | -local) [-cells FILE]
+//	                   [-key API_KEY] [-priority CLASS] [-results-only]
+//	                   [-store DIR] [-resume] [-hedge 2s] [-workers N]
+//	                   [-timeout 10m] [-log-level info] [-log-format text] [-seed N]
 //	visasimctl explore -backends URL,URL,... [-samples N] [-seed N] [-verify K]
 //	                   [-workers N] [-hedge 2s] [-timeout 10m] [-json FILE]
+//	visasimctl tenants  -server URL [-json]
+//	visasimctl backends -coord URL
+//	visasimctl drain    -coord URL BACKEND_URL
 //
 // The explore subcommand screens the SMT design space through the
 // analytical twin (internal/twin) locally, then verifies a spread of the
@@ -33,11 +41,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"visasim/internal/cluster"
 	"visasim/internal/dispatch"
 	"visasim/internal/harness"
 	"visasim/internal/obs"
@@ -67,6 +78,12 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "explore":
 		err = cmdExplore(os.Args[2:])
+	case "tenants":
+		err = cmdTenants(os.Args[2:])
+	case "drain":
+		err = cmdDrain(os.Args[2:])
+	case "backends":
+		err = cmdBackends(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -85,12 +102,17 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   visasimctl health  -backends URL,URL,...
   visasimctl metrics -backends URL,URL,... [-prom]
-  visasimctl sweep   -backends URL,URL,... [-cells FILE] [-store DIR] [-resume]
+  visasimctl sweep   (-backends URL,... | -coord URL | -local) [-cells FILE]
+                     [-key API_KEY] [-priority interactive|standard|bulk]
+                     [-results-only] [-store DIR] [-resume]
                      [-hedge D] [-workers N] [-timeout D]
                      [-log-level L] [-log-format F] [-seed N]
   visasimctl explore -backends URL,URL,... [-samples N] [-seed N] [-verify K]
                      [-workers N] [-hedge D] [-timeout D] [-json FILE]
-                     [-log-level L] [-log-format F]`)
+                     [-log-level L] [-log-format F]
+  visasimctl tenants  -server URL
+  visasimctl backends -coord URL
+  visasimctl drain    -coord URL BACKEND_URL`)
 }
 
 // backendList splits and validates the -backends flag value.
@@ -211,11 +233,22 @@ func mustJSON(v any) json.RawMessage {
 	return blob
 }
 
-// cmdSweep dispatches one sweep across the cluster and prints the keyed
-// results (the same cell shape GET /v1/jobs/{id} returns) on stdout.
+// cmdSweep runs one sweep and prints keyed results on stdout. Three modes
+// share one output shape, so results can be diffed byte for byte — the
+// simulator is deterministic, so they must match:
+//
+//   - -backends runs the in-process coordinator over a static pool
+//   - -coord posts the sweep to a visasimcoord control plane (tenant key
+//     and priority class travel as headers)
+//   - -local runs the cells through internal/harness in this process
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	backendsCSV := fs.String("backends", "", "comma-separated visasimd base URLs")
+	coordURL := fs.String("coord", "", "visasimcoord base URL to dispatch through (instead of -backends)")
+	local := fs.Bool("local", false, "run the cells locally through the harness (no cluster)")
+	apiKey := fs.String("key", "", "tenant API key (X-Visasim-Key) for admission-controlled clusters")
+	priority := fs.String("priority", "", "priority class: interactive, standard, or bulk")
+	resultsOnly := fs.Bool("results-only", false, "omit per-cell cost stats (deterministic output, diffable across modes)")
 	cellsPath := fs.String("cells", "-", `cells JSON file ("-" = stdin; same shape as POST /v1/sweeps)`)
 	storeDir := fs.String("store", "", "checkpoint completed cells to this directory")
 	resume := fs.Bool("resume", false, "skip cells already checkpointed in -store")
@@ -228,10 +261,6 @@ func cmdSweep(args []string) error {
 	seed := fs.Int64("seed", 0, "backoff-jitter RNG seed (0 = from the clock)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	urls, err := backendList(*backendsCSV)
-	if err != nil {
-		return err
-	}
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		return err
@@ -240,61 +269,193 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	var st *store.Store
-	if *storeDir != "" {
-		if st, err = store.Open(*storeDir, store.Options{}); err != nil {
-			return err
-		}
-	} else if *resume {
-		return fmt.Errorf("-resume needs -store")
-	}
-
-	coord, err := dispatch.New(dispatch.Options{
-		Backends:    urls,
-		HedgeAfter:  *hedge,
-		Workers:     *workers,
-		CellTimeout: *cellTimeout,
-		Store:       st,
-		Resume:      *resume,
-		Seed:        *seed,
-		Logger:      logger,
-	})
-	if err != nil {
-		return err
-	}
-	defer coord.Close()
 
 	// SIGINT/SIGTERM cancel the sweep: queued groups are skipped and every
 	// in-flight dispatch attempt is aborted, instead of the old behaviour
 	// of polling the cluster to completion after the operator gave up.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *priority != "" {
+		class, cerr := cluster.ParseClass(*priority)
+		if cerr != nil {
+			return cerr
+		}
+		ctx = cluster.WithClass(ctx, class)
+	}
+	if *apiKey != "" {
+		ctx = cluster.WithAPIKey(ctx, *apiKey)
+	}
 
-	start := time.Now()
-	results, stats, err := coord.RunStatsContext(ctx, cells, harness.Options{})
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "visasimctl: %d cells in %v\n",
-			len(cells), time.Since(start).Round(time.Millisecond))
-		coord.WritePrometheus(os.Stderr)
+	var results map[string]json.RawMessage
+	var stats harness.Stats
+	switch {
+	case *local:
+		results, stats, err = sweepLocal(cells, *workers)
+	case *coordURL != "":
+		results, stats, err = sweepViaCoord(ctx, *coordURL, cells, *apiKey, *priority)
+	default:
+		results, stats, err = sweepViaBackends(ctx, cells, sweepDispatchOptions{
+			backendsCSV: *backendsCSV, storeDir: *storeDir, resume: *resume,
+			hedge: *hedge, workers: *workers, cellTimeout: *cellTimeout,
+			seed: *seed, verbose: *verbose, logger: logger,
+		})
 	}
 	if err != nil {
 		return err
 	}
 
 	type outCell struct {
-		Key    string            `json:"key"`
-		Result any               `json:"result"`
-		Stats  harness.CellStats `json:"stats"`
+		Key    string             `json:"key"`
+		Result json.RawMessage    `json:"result"`
+		Stats  *harness.CellStats `json:"stats,omitempty"`
 	}
 	out := struct {
 		Cells []outCell `json:"cells"`
 	}{Cells: make([]outCell, 0, len(cells))}
 	for _, c := range cells { // submission order, not map order
-		out.Cells = append(out.Cells, outCell{Key: c.Key, Result: results[c.Key], Stats: stats[c.Key]})
+		oc := outCell{Key: c.Key, Result: results[c.Key]}
+		if !*resultsOnly {
+			st := stats[c.Key]
+			oc.Stats = &st
+		}
+		out.Cells = append(out.Cells, oc)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// rawResults marshals keyed results once, so every sweep mode emits the
+// identical result bytes.
+func rawResults(cells []harness.Cell, res harness.Results) (map[string]json.RawMessage, error) {
+	out := make(map[string]json.RawMessage, len(cells))
+	for _, c := range cells {
+		blob, err := json.Marshal(res[c.Key])
+		if err != nil {
+			return nil, fmt.Errorf("encoding result for cell %s: %w", c.Key, err)
+		}
+		out[c.Key] = blob
+	}
+	return out, nil
+}
+
+// sweepLocal runs the cells in-process — the ground truth the cluster modes
+// must match byte for byte.
+func sweepLocal(cells []harness.Cell, workers int) (map[string]json.RawMessage, harness.Stats, error) {
+	res, stats, err := harness.RunStats(cells, harness.Options{Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := rawResults(cells, res)
+	return raw, stats, err
+}
+
+// sweepDispatchOptions carries the static-pool mode's flags.
+type sweepDispatchOptions struct {
+	backendsCSV string
+	storeDir    string
+	resume      bool
+	hedge       time.Duration
+	workers     int
+	cellTimeout time.Duration
+	seed        int64
+	verbose     bool
+	logger      *slog.Logger
+}
+
+// sweepViaBackends runs the in-process coordinator over a static pool.
+func sweepViaBackends(ctx context.Context, cells []harness.Cell, o sweepDispatchOptions) (map[string]json.RawMessage, harness.Stats, error) {
+	urls, err := backendList(o.backendsCSV)
+	if err != nil {
+		return nil, nil, err
+	}
+	var st *store.Store
+	if o.storeDir != "" {
+		if st, err = store.Open(o.storeDir, store.Options{}); err != nil {
+			return nil, nil, err
+		}
+	} else if o.resume {
+		return nil, nil, fmt.Errorf("-resume needs -store")
+	}
+	coord, err := dispatch.New(dispatch.Options{
+		Backends:    urls,
+		HedgeAfter:  o.hedge,
+		Workers:     o.workers,
+		CellTimeout: o.cellTimeout,
+		Store:       st,
+		Resume:      o.resume,
+		Seed:        o.seed,
+		Logger:      o.logger,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer coord.Close()
+
+	start := time.Now()
+	results, stats, err := coord.RunStatsContext(ctx, cells, harness.Options{})
+	if o.verbose {
+		fmt.Fprintf(os.Stderr, "visasimctl: %d cells in %v\n",
+			len(cells), time.Since(start).Round(time.Millisecond))
+		coord.WritePrometheus(os.Stderr)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := rawResults(cells, results)
+	return raw, stats, err
+}
+
+// sweepViaCoord posts the whole sweep to a visasimcoord control plane and
+// lets its scheduler run it.
+func sweepViaCoord(ctx context.Context, coordURL string, cells []harness.Cell, apiKey, priority string) (map[string]json.RawMessage, harness.Stats, error) {
+	req := server.SubmitRequest{Cells: make([]server.SubmitCell, len(cells))}
+	for i, c := range cells {
+		req.Cells[i] = server.SubmitCell{Key: c.Key, Config: c.Cfg}
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	target := strings.TrimRight(coordURL, "/") + "/v1/dispatch"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, target, strings.NewReader(string(blob)))
+	if err != nil {
+		return nil, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		hreq.Header.Set(cluster.KeyHeader, apiKey)
+	}
+	if priority != "" {
+		hreq.Header.Set(cluster.ClassHeader, priority)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return nil, nil, fmt.Errorf("coordinator answered HTTP %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var dr dispatch.DispatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return nil, nil, fmt.Errorf("decoding dispatch response: %w", err)
+	}
+	results := make(map[string]json.RawMessage, len(dr.Cells))
+	stats := make(harness.Stats, len(dr.Cells))
+	for _, c := range dr.Cells {
+		// The control plane indents its response; re-compact so the result
+		// bytes are identical to a local json.Marshal of the same Result.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, c.Result); err != nil {
+			return nil, nil, fmt.Errorf("cell %s: %w", c.Key, err)
+		}
+		results[c.Key] = compact.Bytes()
+		stats[c.Key] = c.Stats
+	}
+	return results, stats, nil
 }
 
 // readCells decodes a sweep request in the daemon's submit shape.

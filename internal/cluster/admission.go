@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrUnknownKey reports a submission whose API key matches no tenant —
+// an authentication failure (HTTP 401), distinct from an admitted tenant
+// being throttled (HTTP 429, AdmissionError).
+var ErrUnknownKey = errors.New("cluster: unknown API key")
+
+// AdmissionError is a rejected-but-authenticated submission: the tenant is
+// over its rate limit or cell quota. Servers map it to 429 with the
+// RetryAfter hint in Retry-After / RetryAfterMsHeader.
+type AdmissionError struct {
+	// Tenant is the rejected tenant's ID.
+	Tenant string
+	// Reason is "rate" (token bucket empty) or "quota" (MaxQueued cells
+	// already outstanding).
+	Reason string
+	// RetryAfter is the controller's estimate of when the same submission
+	// could be admitted.
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("cluster: tenant %s over %s limit, retry after %v",
+		e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// quotaRetryAfter is the retry hint for quota rejections: the quota frees
+// as outstanding cells complete, which the controller cannot predict, so a
+// fixed short hint keeps clients probing without hammering.
+const quotaRetryAfter = time.Second
+
+// tenantState is one tenant's live accounting.
+type tenantState struct {
+	tokens float64 // token bucket fill, in cells
+	last   time.Time
+	queued int // outstanding admitted cells (quota)
+
+	admitted int64 // cells admitted, cumulative
+	rejected int64 // cells rejected, cumulative
+}
+
+// Admission is a per-tenant token-bucket rate limiter plus outstanding-cell
+// quota. One Admission guards one admission point (a visasimd, or the
+// coordinator); safe for concurrent use.
+type Admission struct {
+	reg *Registry
+	// Now is the clock, swappable in tests; time.Now by default.
+	Now func() time.Time
+
+	mu     sync.Mutex
+	states map[string]*tenantState
+}
+
+// NewAdmission builds an admission controller over the registry. Every
+// tenant starts with a full token bucket.
+func NewAdmission(reg *Registry) *Admission {
+	return &Admission{reg: reg, Now: time.Now, states: map[string]*tenantState{}}
+}
+
+// Registry returns the tenant registry the controller enforces.
+func (a *Admission) Registry() *Registry { return a.reg }
+
+// Admit asks to enqueue `cells` cells under the given API key. An unknown
+// key returns ErrUnknownKey; a throttled tenant returns an *AdmissionError
+// with a retry hint; success reserves the cells against the tenant's quota
+// until Release.
+func (a *Admission) Admit(key string, cells int) (*Tenant, error) {
+	t, ok := a.reg.LookupKey(key)
+	if !ok {
+		return nil, ErrUnknownKey
+	}
+	now := a.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.states[t.ID]
+	if st == nil {
+		st = &tenantState{tokens: t.burst(), last: now}
+		a.states[t.ID] = st
+	}
+	// Refill the bucket for the time since the last decision.
+	if t.RatePerSec > 0 {
+		st.tokens = math.Min(t.burst(), st.tokens+t.RatePerSec*now.Sub(st.last).Seconds())
+	}
+	st.last = now
+
+	if t.MaxQueued > 0 && st.queued+cells > t.MaxQueued {
+		st.rejected += int64(cells)
+		return nil, &AdmissionError{Tenant: t.ID, Reason: "quota", RetryAfter: quotaRetryAfter}
+	}
+	if t.RatePerSec > 0 {
+		if st.tokens < float64(cells) {
+			st.rejected += int64(cells)
+			wait := time.Duration((float64(cells) - st.tokens) / t.RatePerSec * float64(time.Second))
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			return nil, &AdmissionError{Tenant: t.ID, Reason: "rate", RetryAfter: wait}
+		}
+		st.tokens -= float64(cells)
+	}
+	st.queued += cells
+	st.admitted += int64(cells)
+	return t, nil
+}
+
+// Release returns completed (or failed) cells to the tenant's quota.
+func (a *Admission) Release(tenantID string, cells int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := a.states[tenantID]; st != nil {
+		st.queued -= cells
+		if st.queued < 0 {
+			st.queued = 0
+		}
+	}
+}
+
+// TenantStatus is one tenant's quota/usage view (for /v1/tenants and the
+// per-tenant metric families). It never carries the API key.
+type TenantStatus struct {
+	ID         string  `json:"id"`
+	Class      string  `json:"class"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      int     `json:"burst"`
+	MaxQueued  int     `json:"max_queued_cells"`
+
+	// Queued is the tenant's outstanding admitted cells right now.
+	Queued int `json:"queued_cells"`
+	// Admitted and Rejected are cumulative cell counts.
+	Admitted int64 `json:"admitted_cells"`
+	Rejected int64 `json:"rejected_cells"`
+}
+
+// Snapshot returns every tenant's status, sorted by tenant ID.
+func (a *Admission) Snapshot() []TenantStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TenantStatus, 0, a.reg.Len())
+	for _, t := range a.reg.Tenants() {
+		st := a.states[t.ID]
+		ts := TenantStatus{
+			ID:         t.ID,
+			Class:      t.DefaultClass().String(),
+			RatePerSec: t.RatePerSec,
+			Burst:      int(t.burst()),
+			MaxQueued:  t.MaxQueued,
+		}
+		if st != nil {
+			ts.Queued, ts.Admitted, ts.Rejected = st.queued, st.admitted, st.rejected
+		}
+		out = append(out, ts)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg, err := NewRegistry([]Tenant{
+		{ID: "papers", Key: "pk", Class: "interactive", RatePerSec: 10, Burst: 5, MaxQueued: 8},
+		{ID: "scan", Key: "sk", Class: "bulk"},
+	})
+	if err != nil {
+		t.Fatalf("NewRegistry: %v", err)
+	}
+	return reg
+}
+
+// fakeClock drives the admission controller without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestAdmission(t *testing.T) (*Admission, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	a := NewAdmission(testRegistry(t))
+	a.Now = clk.now
+	return a, clk
+}
+
+func TestAdmitUnknownKey(t *testing.T) {
+	a, _ := newTestAdmission(t)
+	for _, key := range []string{"", "nope"} {
+		if _, err := a.Admit(key, 1); !errors.Is(err, ErrUnknownKey) {
+			t.Fatalf("Admit(%q) err = %v, want ErrUnknownKey", key, err)
+		}
+	}
+}
+
+func TestAdmitBurstThenRateReject(t *testing.T) {
+	a, clk := newTestAdmission(t)
+	// Burst 5: the first 5 cells pass in one instant.
+	ten, err := a.Admit("pk", 5)
+	if err != nil {
+		t.Fatalf("burst admit: %v", err)
+	}
+	if ten.ID != "papers" {
+		t.Fatalf("admitted tenant %q, want papers", ten.ID)
+	}
+	// The bucket is empty: the next cell is rate-rejected with a hint
+	// matching 1 cell / 10 cells-per-sec = 100ms.
+	_, err = a.Admit("pk", 1)
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != "rate" {
+		t.Fatalf("over-burst admit err = %v, want rate AdmissionError", err)
+	}
+	if ae.RetryAfter < 90*time.Millisecond || ae.RetryAfter > 110*time.Millisecond {
+		t.Fatalf("rate RetryAfter = %v, want ~100ms", ae.RetryAfter)
+	}
+	// After the hinted wait the bucket has refilled exactly enough.
+	clk.advance(ae.RetryAfter)
+	if _, err := a.Admit("pk", 1); err != nil {
+		t.Fatalf("admit after hinted wait: %v", err)
+	}
+}
+
+func TestAdmitRefillCapsAtBurst(t *testing.T) {
+	a, clk := newTestAdmission(t)
+	if _, err := a.Admit("pk", 5); err != nil {
+		t.Fatalf("drain burst: %v", err)
+	}
+	a.Release("papers", 5) // keep the quota out of the picture
+	clk.advance(time.Hour) // refills far more than burst...
+	if _, err := a.Admit("pk", 3); err != nil {
+		t.Fatalf("admit 3 after idle: %v", err)
+	}
+	// ...but the bucket capped at 5, so 3 more cells exceed the 2 left.
+	var ae *AdmissionError
+	if _, err := a.Admit("pk", 3); !errors.As(err, &ae) || ae.Reason != "rate" {
+		t.Fatalf("admit past capped bucket err = %v, want rate AdmissionError", err)
+	}
+}
+
+func TestAdmitQuotaAndRelease(t *testing.T) {
+	a, clk := newTestAdmission(t)
+	// MaxQueued 8: fill the quota across two admissions, refilling the
+	// bucket between them so only the quota can reject.
+	if _, err := a.Admit("pk", 5); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	clk.advance(time.Second)
+	if _, err := a.Admit("pk", 3); err != nil {
+		t.Fatalf("second admit: %v", err)
+	}
+	clk.advance(time.Second)
+	var ae *AdmissionError
+	if _, err := a.Admit("pk", 1); !errors.As(err, &ae) || ae.Reason != "quota" {
+		t.Fatalf("admit past quota err = %v, want quota AdmissionError", err)
+	}
+	// Releasing outstanding cells reopens the quota.
+	a.Release("papers", 4)
+	if _, err := a.Admit("pk", 1); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestAdmitUnlimitedTenant(t *testing.T) {
+	a, clk := newTestAdmission(t)
+	// "scan" has no rate and no quota: any batch passes, forever.
+	for i := 0; i < 3; i++ {
+		if _, err := a.Admit("sk", 10_000); err != nil {
+			t.Fatalf("unlimited admit %d: %v", i, err)
+		}
+		clk.advance(time.Millisecond)
+	}
+}
+
+func TestSnapshotCountsAndHidesKeys(t *testing.T) {
+	a, clk := newTestAdmission(t)
+	if _, err := a.Admit("pk", 5); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if _, err := a.Admit("pk", 5); err == nil {
+		t.Fatal("expected a rejection to count")
+	}
+	clk.advance(time.Second)
+	a.Release("papers", 2)
+	snap := a.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "papers" || snap[1].ID != "scan" {
+		t.Fatalf("snapshot IDs = %+v, want [papers scan]", snap)
+	}
+	p := snap[0]
+	if p.Admitted != 5 || p.Rejected != 5 || p.Queued != 3 {
+		t.Fatalf("papers status = %+v, want admitted 5, rejected 5, queued 3", p)
+	}
+	if p.Class != "interactive" || p.Burst != 5 || p.MaxQueued != 8 {
+		t.Fatalf("papers config in status = %+v", p)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	bad := [][]Tenant{
+		{{ID: "", Key: "k"}},
+		{{ID: "a", Key: ""}},
+		{{ID: "a", Key: "k", Class: "vip"}},
+		{{ID: "a", Key: "k", RatePerSec: -1}},
+		{{ID: "a", Key: "k"}, {ID: "a", Key: "k2"}},
+		{{ID: "a", Key: "k"}, {ID: "b", Key: "k"}},
+	}
+	for i, tenants := range bad {
+		if _, err := NewRegistry(tenants); err == nil {
+			t.Errorf("NewRegistry(case %d) accepted invalid tenants %+v", i, tenants)
+		}
+	}
+}
+
+func TestLoadRegistry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	blob := `{"tenants":[{"id":"papers","key":"pk","class":"interactive","rate_per_sec":50,"burst":100,"max_queued_cells":500}]}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LoadRegistry(path)
+	if err != nil {
+		t.Fatalf("LoadRegistry: %v", err)
+	}
+	ten, ok := reg.LookupKey("pk")
+	if !ok || ten.ID != "papers" || ten.DefaultClass() != Interactive || ten.MaxQueued != 500 {
+		t.Fatalf("loaded tenant = %+v", ten)
+	}
+	if _, err := LoadRegistry(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("LoadRegistry(missing) should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"tenants":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRegistry(empty); err == nil {
+		t.Fatal("LoadRegistry(empty set) should error")
+	}
+}
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if c, err := ParseClass(""); err != nil || c != Standard {
+		t.Fatalf(`ParseClass("") = %v, %v, want Standard`, c, err)
+	}
+	if _, err := ParseClass("vip"); err == nil {
+		t.Fatal(`ParseClass("vip") should error`)
+	}
+}

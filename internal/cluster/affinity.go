@@ -1,0 +1,48 @@
+package cluster
+
+import "hash/fnv"
+
+// AffinityPrefixLen is how much of a cell's content hash feeds the
+// rendezvous weight. A 16-hex-character prefix (64 bits) is far beyond
+// collision range for any sweep while keeping the hashed key short.
+const AffinityPrefixLen = 16
+
+// RendezvousPick implements highest-random-weight (rendezvous) hashing:
+// every (key, member) pair gets a deterministic pseudo-random weight and
+// the member with the highest weight wins. The winning member is stable
+// under membership change everywhere except the slots that touched the
+// joined/left member — exactly the property that makes per-backend result
+// caches behave like one sharded cache instead of N overlapping ones
+// (DESIGN.md §12). Returns "" when members is empty.
+func RendezvousPick(key string, members []string) string {
+	if len(key) > AffinityPrefixLen {
+		key = key[:AffinityPrefixLen]
+	}
+	best, bestW := "", uint64(0)
+	for _, m := range members {
+		h := fnv.New64a()
+		h.Write([]byte(key)) //nolint:errcheck // fnv never errors
+		h.Write([]byte{0})
+		h.Write([]byte(m)) //nolint:errcheck
+		if w := h.Sum64(); best == "" || w > bestW || (w == bestW && m < best) {
+			best, bestW = m, w
+		}
+	}
+	return best
+}
+
+// Jain computes Jain's fairness index over the service shares xs:
+// (Σx)² / (n·Σx²). It is 1 when every share is equal, and approaches 1/n
+// as one share dominates. Empty or all-zero input reports 1 (nothing is
+// being treated unfairly when nothing is being served).
+func Jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if len(xs) == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRendezvousPickDeterministicAndCovering(t *testing.T) {
+	members := []string{"http://a:9090", "http://b:9090", "http://c:9090"}
+	hits := map[string]int{}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("%016x", i*2654435761)
+		first := RendezvousPick(key, members)
+		if again := RendezvousPick(key, members); again != first {
+			t.Fatalf("pick for %s unstable: %s then %s", key, first, again)
+		}
+		hits[first]++
+	}
+	// Every member should own a meaningful share of a uniform keyspace.
+	for _, m := range members {
+		if hits[m] < 30 {
+			t.Fatalf("member %s owns only %d/300 keys: %v", m, hits[m], hits)
+		}
+	}
+}
+
+func TestRendezvousPickStableUnderMembershipChange(t *testing.T) {
+	members := []string{"http://a:9090", "http://b:9090", "http://c:9090"}
+	shrunk := []string{"http://a:9090", "http://c:9090"}
+	moved := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%016x", i*40503+7)
+		before := RendezvousPick(key, members)
+		after := RendezvousPick(key, shrunk)
+		if before != "http://b:9090" && after != before {
+			// The defining rendezvous property: removing b must not move
+			// keys between the survivors.
+			t.Fatalf("key %s moved %s -> %s though b was not its owner", key, before, after)
+		}
+		if before == "http://b:9090" {
+			moved++
+		}
+	}
+	// b owned roughly a third of the keyspace; all of it (and only it)
+	// redistributes.
+	if moved < n/6 || moved > n/2 {
+		t.Fatalf("%d/%d keys owned by the removed member, want roughly a third", moved, n)
+	}
+}
+
+func TestRendezvousPickEdgeCases(t *testing.T) {
+	if got := RendezvousPick("abc", nil); got != "" {
+		t.Fatalf("empty members pick = %q", got)
+	}
+	if got := RendezvousPick("abc", []string{"only"}); got != "only" {
+		t.Fatalf("single member pick = %q", got)
+	}
+	// Keys longer than the affinity prefix truncate: same prefix, same pick.
+	members := []string{"m1", "m2", "m3"}
+	long1 := "0123456789abcdefAAAA"
+	long2 := "0123456789abcdefBBBB"
+	if RendezvousPick(long1, members) != RendezvousPick(long2, members) {
+		t.Fatal("picks differ for keys sharing the 16-char prefix")
+	}
+}
+
+func TestJain(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 1},
+		{[]float64{0, 0}, 1},
+		{[]float64{5, 5, 5, 5}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25},
+		{[]float64{4, 2}, (6 * 6) / (2 * 20.0)},
+	}
+	for _, c := range cases {
+		if got := Jain(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}

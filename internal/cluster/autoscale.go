@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+
+	"visasim/internal/obs"
+)
+
+// AutoscaleSource exposes the load signals the autoscaler steers by. The
+// dispatch coordinator implements it.
+type AutoscaleSource interface {
+	// QueueDepth is how many dispatch groups are waiting for a backend.
+	QueueDepth() int
+	// BackendCount is how many non-draining backends are in the pool.
+	BackendCount() int
+}
+
+// AutoscaleActions performs the scaling the autoscaler decides on. The
+// coordinator daemon implements it by spawning and draining local visasimd
+// processes; tests implement it with counters.
+type AutoscaleActions interface {
+	// ScaleUp adds one backend to the pool.
+	ScaleUp(ctx context.Context) error
+	// ScaleDown drains and removes one backend from the pool.
+	ScaleDown(ctx context.Context) error
+}
+
+// AutoscalerOptions tune the control loop.
+type AutoscalerOptions struct {
+	// Min and Max bound the backend count. Min defaults to 1, Max to Min.
+	Min, Max int
+	// ScaleUpDepth is the queue depth at or above which the loop adds a
+	// backend (default 4 groups).
+	ScaleUpDepth int
+	// ScaleDownIdle is how long the queue must sit empty before the loop
+	// removes a backend (default 30s).
+	ScaleDownIdle time.Duration
+	// Interval is how often the loop samples the source (default 1s).
+	Interval time.Duration
+	// Logger receives scaling decisions; nil discards them.
+	Logger *slog.Logger
+}
+
+func (o AutoscalerOptions) withDefaults() AutoscalerOptions {
+	if o.Min <= 0 {
+		o.Min = 1
+	}
+	if o.Max < o.Min {
+		o.Max = o.Min
+	}
+	if o.ScaleUpDepth <= 0 {
+		o.ScaleUpDepth = 4
+	}
+	if o.ScaleDownIdle <= 0 {
+		o.ScaleDownIdle = 30 * time.Second
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
+	}
+	return o
+}
+
+// Verdict is one autoscaler decision.
+type Verdict uint8
+
+const (
+	// Hold keeps the pool as it is.
+	Hold Verdict = iota
+	// ScaleUp adds one backend.
+	ScaleUp
+	// ScaleDown removes one backend.
+	ScaleDown
+)
+
+// String names the verdict for logs.
+func (v Verdict) String() string {
+	switch v {
+	case ScaleUp:
+		return "scale-up"
+	case ScaleDown:
+		return "scale-down"
+	}
+	return "hold"
+}
+
+// Autoscaler is a sampled hysteresis controller: queue depth at or above
+// ScaleUpDepth grows the pool one backend per interval; a queue that stays
+// empty for ScaleDownIdle shrinks it one backend at a time, never below
+// Min. The decision rule (Step) is pure and clocked externally so tests
+// drive it without sleeping; Start runs it on a ticker.
+type Autoscaler struct {
+	opt      AutoscalerOptions
+	src      AutoscaleSource
+	act      AutoscaleActions
+	lastBusy time.Time
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewAutoscaler builds an autoscaler over the given source and actions.
+func NewAutoscaler(src AutoscaleSource, act AutoscaleActions, opt AutoscalerOptions) *Autoscaler {
+	return &Autoscaler{opt: opt.withDefaults(), src: src, act: act, quit: make(chan struct{})}
+}
+
+// Step samples the source at time now and returns the verdict. It mutates
+// only the idle clock; callers (Start, or a test) apply the verdict.
+func (a *Autoscaler) Step(now time.Time) Verdict {
+	depth := a.src.QueueDepth()
+	n := a.src.BackendCount()
+	if depth > 0 || a.lastBusy.IsZero() {
+		a.lastBusy = now
+	}
+	switch {
+	case n < a.opt.Min:
+		return ScaleUp
+	case depth >= a.opt.ScaleUpDepth && n < a.opt.Max:
+		return ScaleUp
+	case depth == 0 && n > a.opt.Min && now.Sub(a.lastBusy) >= a.opt.ScaleDownIdle:
+		// Reset the idle clock so the next shrink waits a full idle
+		// period again — one backend per ScaleDownIdle, not a collapse.
+		a.lastBusy = now
+		return ScaleDown
+	}
+	return Hold
+}
+
+// Start runs the control loop until Close.
+func (a *Autoscaler) Start() {
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		tick := time.NewTicker(a.opt.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-a.quit:
+				return
+			case now := <-tick.C:
+				a.apply(a.Step(now))
+			}
+		}
+	}()
+}
+
+// apply executes one verdict with a per-action timeout.
+func (a *Autoscaler) apply(v Verdict) {
+	if v == Hold {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var err error
+	if v == ScaleUp {
+		err = a.act.ScaleUp(ctx)
+	} else {
+		err = a.act.ScaleDown(ctx)
+	}
+	if err != nil {
+		a.opt.Logger.Warn("autoscale action failed", "verdict", v.String(), "err", err)
+		return
+	}
+	a.opt.Logger.Info("autoscaled", "verdict", v.String(),
+		"backends", a.src.BackendCount(), "queue_depth", a.src.QueueDepth())
+}
+
+// Close stops the control loop. It does not undo past scaling.
+func (a *Autoscaler) Close() {
+	close(a.quit)
+	a.wg.Wait()
+}

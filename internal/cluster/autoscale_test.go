@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeCluster is both the load source and the scaling actions: ScaleUp and
+// ScaleDown simply move the backend count. Locked because the Start loop
+// test reads it from the test goroutine while the loop mutates it.
+type fakeCluster struct {
+	mu       sync.Mutex
+	depth    int
+	backends int
+	ups      int
+	downs    int
+}
+
+func (f *fakeCluster) QueueDepth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.depth
+}
+
+func (f *fakeCluster) BackendCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.backends
+}
+
+func (f *fakeCluster) scaleUps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ups
+}
+
+func (f *fakeCluster) ScaleUp(context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ups++
+	f.backends++
+	return nil
+}
+
+func (f *fakeCluster) ScaleDown(context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.downs++
+	f.backends--
+	return nil
+}
+
+func newTestAutoscaler(f *fakeCluster) *Autoscaler {
+	return NewAutoscaler(f, f, AutoscalerOptions{
+		Min: 1, Max: 3, ScaleUpDepth: 4, ScaleDownIdle: 10 * time.Second,
+	})
+}
+
+func TestAutoscalerScalesUpOnDepth(t *testing.T) {
+	f := &fakeCluster{depth: 10, backends: 1}
+	a := newTestAutoscaler(f)
+	now := time.Unix(1700000000, 0)
+	for i := 0; i < 5; i++ {
+		if v := a.Step(now); v != Hold {
+			if v != ScaleUp {
+				t.Fatalf("step %d verdict = %v", i, v)
+			}
+			f.ScaleUp(context.Background())
+		}
+		now = now.Add(time.Second)
+	}
+	// Deep queue, but the pool never exceeds Max.
+	if f.backends != 3 {
+		t.Fatalf("backends = %d, want Max=3", f.backends)
+	}
+}
+
+func TestAutoscalerScalesUpBelowMin(t *testing.T) {
+	f := &fakeCluster{depth: 0, backends: 0}
+	a := newTestAutoscaler(f)
+	if v := a.Step(time.Unix(1700000000, 0)); v != ScaleUp {
+		t.Fatalf("verdict below Min = %v, want ScaleUp", v)
+	}
+}
+
+func TestAutoscalerScaleDownNeedsSustainedIdle(t *testing.T) {
+	f := &fakeCluster{depth: 2, backends: 3}
+	a := newTestAutoscaler(f)
+	now := time.Unix(1700000000, 0)
+	if v := a.Step(now); v != Hold {
+		t.Fatalf("busy verdict = %v, want Hold", v)
+	}
+	// Queue empties; not yet idle long enough.
+	f.depth = 0
+	now = now.Add(5 * time.Second)
+	if v := a.Step(now); v != Hold {
+		t.Fatalf("5s-idle verdict = %v, want Hold", v)
+	}
+	// Past the idle window: shrink one.
+	now = now.Add(6 * time.Second)
+	if v := a.Step(now); v != ScaleDown {
+		t.Fatalf("11s-idle verdict = %v, want ScaleDown", v)
+	}
+	f.ScaleDown(context.Background())
+	// The idle clock reset: the next shrink waits a full window again.
+	now = now.Add(time.Second)
+	if v := a.Step(now); v != Hold {
+		t.Fatalf("verdict right after a shrink = %v, want Hold", v)
+	}
+	now = now.Add(10 * time.Second)
+	if v := a.Step(now); v != ScaleDown {
+		t.Fatalf("verdict a full window later = %v, want ScaleDown", v)
+	}
+	f.ScaleDown(context.Background())
+	// Never below Min.
+	now = now.Add(time.Hour)
+	if v := a.Step(now); v != Hold {
+		t.Fatalf("verdict at Min = %v, want Hold", v)
+	}
+}
+
+func TestAutoscalerLoopAppliesVerdicts(t *testing.T) {
+	f := &fakeCluster{depth: 10, backends: 1}
+	a := NewAutoscaler(f, f, AutoscalerOptions{
+		Min: 1, Max: 2, ScaleUpDepth: 1, Interval: time.Millisecond,
+	})
+	a.Start()
+	defer a.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for f.scaleUps() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if f.scaleUps() == 0 {
+		t.Fatal("loop never applied a ScaleUp")
+	}
+}

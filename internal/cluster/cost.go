@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"visasim/internal/config"
+	"visasim/internal/core"
+	"visasim/internal/isa"
+	"visasim/internal/twin"
+	"visasim/internal/workload"
+)
+
+// Estimator predicts the relative cost of simulating one cell — the number
+// SJF ordering compares. Units are arbitrary; only the ordering matters.
+// Estimators must be cheap (they run once per dispatch group on the submit
+// path) and must never fail: off-model configurations get a heuristic.
+type Estimator func(cfg core.Config) float64
+
+// InstrCost is the fallback estimator: the committed-instruction budget.
+// Simulator wall-clock is roughly proportional to simulated cycles, and
+// cycles scale with the budget, so this orders mixed-size sweeps correctly
+// even when the twin cannot see the configuration.
+func InstrCost(cfg core.Config) float64 {
+	budget := cfg.MaxInstructions
+	if budget == 0 {
+		budget = core.DefaultInstructions
+	}
+	return float64(budget)
+}
+
+// TwinCost returns an estimator backed by the analytical twin: predicted
+// simulated cycles = instruction budget / predicted IPC, so an IQ-starved
+// MEM-mix cell correctly sorts as more expensive than a CPU-mix cell with
+// the same budget. Configurations the twin cannot evaluate (unknown
+// benchmark set, off-grid geometry, out-of-scope scheme) fall back to
+// InstrCost, so the estimator totally orders any sweep.
+func TwinCost(m *twin.Model) Estimator {
+	mixes := workload.Mixes()
+	return func(cfg core.Config) float64 {
+		in, ok := inputFor(&cfg, mixes)
+		if !ok || m.Valid(&in) != nil {
+			return InstrCost(cfg)
+		}
+		var p twin.Prediction
+		m.Evaluate(&in, &p)
+		if p.IPC <= 0 {
+			return InstrCost(cfg)
+		}
+		return InstrCost(cfg) / p.IPC
+	}
+}
+
+// inputFor maps a cell configuration back onto the twin's input grid: the
+// benchmark list must be a prefix of a Table 3 mix, and the machine
+// geometry feeds IQ size and the FU pool. ok is false when no mix matches.
+func inputFor(cfg *core.Config, mixes []workload.Mix) (twin.Input, bool) {
+	threads := len(cfg.Benchmarks)
+	if threads < 1 || threads > twin.MaxThreads {
+		return twin.Input{}, false
+	}
+	mix := -1
+	for i := range mixes {
+		match := true
+		for t := 0; t < threads; t++ {
+			if mixes[i].Benchmarks[t] != cfg.Benchmarks[t] {
+				match = false
+				break
+			}
+		}
+		if match {
+			mix = i
+			break
+		}
+	}
+	if mix < 0 {
+		return twin.Input{}, false
+	}
+	m := cfg.Machine
+	if m == nil {
+		def := config.Default()
+		m = &def
+	}
+	in := twin.Input{
+		Mix:     mix,
+		Threads: threads,
+		Scheme:  cfg.Scheme,
+		Policy:  cfg.Policy,
+		IQSize:  m.IQSize,
+	}
+	in.FU[isa.FUIntALU] = m.IntALUs
+	in.FU[isa.FUIntMulDiv] = m.IntMulDivs
+	in.FU[isa.FULoadStore] = m.LoadStores
+	in.FU[isa.FUFPALU] = m.FPALUs
+	in.FU[isa.FUFPMulDiv] = m.FPMulDivs
+	if cfg.Scheme == core.SchemeDVM {
+		// The twin expresses DVM targets as a fraction of the mix's peak
+		// interval AVF, but a cell carries an absolute target; inverting
+		// one into the other needs per-mix signature data that is not an
+		// estimator's business. Cost DVM cells by their budget instead.
+		return in, false
+	}
+	return in, true
+}

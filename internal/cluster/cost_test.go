@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+
+	"visasim/internal/core"
+	"visasim/internal/twin"
+	"visasim/internal/workload"
+)
+
+func TestInstrCost(t *testing.T) {
+	if got := InstrCost(core.Config{MaxInstructions: 1000}); got != 1000 {
+		t.Fatalf("InstrCost = %v, want 1000", got)
+	}
+	if got := InstrCost(core.Config{}); got != float64(core.DefaultInstructions) {
+		t.Fatalf("zero-budget InstrCost = %v, want default budget", got)
+	}
+}
+
+func TestTwinCostOrdersByPredictedCycles(t *testing.T) {
+	m, err := twin.Default()
+	if err != nil {
+		t.Fatalf("twin.Default: %v", err)
+	}
+	est := TwinCost(m)
+	mixes := workload.Mixes()
+	cfg := func(mix int) core.Config {
+		return core.Config{Benchmarks: mixes[mix].Benchmarks[:], Scheme: core.SchemeBase}
+	}
+	// Every on-model cost is predicted cycles = budget / IPC: positive,
+	// finite, and visibly not the raw-budget fallback (IPC is never
+	// exactly 1.0 on the calibrated grid).
+	for mix := range mixes {
+		c := est(cfg(mix))
+		if c <= 0 || c > 100*float64(core.DefaultInstructions) {
+			t.Fatalf("mix %d cost = %v, want a plausible cycle count", mix, c)
+		}
+		if c == float64(core.DefaultInstructions) {
+			t.Fatalf("mix %d cost fell back to InstrCost", mix)
+		}
+	}
+	// CPU-A (mix 0) runs well above 1 IPC, so its predicted cycle count
+	// sits below its instruction budget.
+	if c := est(cfg(0)); c >= float64(core.DefaultInstructions) {
+		t.Fatalf("CPU-A cost = %v, want < budget %d", c, core.DefaultInstructions)
+	}
+	// A bigger budget for the same mix must cost proportionally more.
+	small, big := cfg(0), cfg(0)
+	small.MaxInstructions, big.MaxInstructions = 100_000, 400_000
+	if est(small) >= est(big) {
+		t.Fatalf("cost not monotonic in budget: %v >= %v", est(small), est(big))
+	}
+}
+
+func TestTwinCostFallsBackOffModel(t *testing.T) {
+	m, err := twin.Default()
+	if err != nil {
+		t.Fatalf("twin.Default: %v", err)
+	}
+	est := TwinCost(m)
+	cases := []core.Config{
+		{Benchmarks: []string{"not-a-benchmark"}},                               // unknown mix
+		{Benchmarks: workload.Mixes()[0].Benchmarks[:], Scheme: core.SchemeDVM}, // absolute DVM target
+		{}, // no benchmarks at all
+	}
+	for i, cfg := range cases {
+		if got := est(cfg); got != InstrCost(cfg) {
+			t.Fatalf("case %d: cost = %v, want InstrCost fallback %v", i, got, InstrCost(cfg))
+		}
+	}
+}

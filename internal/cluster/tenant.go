@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Tenant is one paying (or at least accountable) caller of the cluster.
+// Tenants are declared up front — a JSON file handed to visasimd and the
+// coordinator — and identified on the wire by API key (KeyHeader).
+type Tenant struct {
+	// ID names the tenant in metrics, logs and /v1/tenants listings.
+	ID string `json:"id"`
+	// Key is the API key submissions authenticate with. Keys are bearer
+	// secrets; the registry never prints them.
+	Key string `json:"key"`
+	// Class is the tenant's default priority class name ("interactive",
+	// "standard", "bulk"); submissions may not escalate above it. Empty
+	// means "standard".
+	Class string `json:"class,omitempty"`
+	// RatePerSec is the tenant's sustained admission rate in cells per
+	// second, enforced by a token bucket; 0 means unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the token bucket's capacity in cells (how far above the
+	// sustained rate a quiet tenant may spike). Defaults to
+	// max(ceil(RatePerSec), 1) when 0.
+	Burst int `json:"burst,omitempty"`
+	// MaxQueued caps the tenant's outstanding cells — admitted but not
+	// yet terminal — across all its sweeps; 0 means unlimited. This is
+	// the cell quota: one tenant cannot fill the whole queue.
+	MaxQueued int `json:"max_queued_cells,omitempty"`
+}
+
+// DefaultClass returns the tenant's default priority class.
+func (t *Tenant) DefaultClass() PriorityClass {
+	c, err := ParseClass(t.Class)
+	if err != nil {
+		return Standard // NewRegistry validated; unreachable for registry tenants
+	}
+	return c
+}
+
+// burst returns the effective token-bucket capacity.
+func (t *Tenant) burst() float64 {
+	if t.Burst > 0 {
+		return float64(t.Burst)
+	}
+	if t.RatePerSec >= 1 {
+		return float64(int(t.RatePerSec + 0.999999))
+	}
+	return 1
+}
+
+// Registry is an immutable set of tenants with key lookup. Create with
+// NewRegistry or LoadRegistry; safe for concurrent use.
+type Registry struct {
+	tenants []Tenant
+	byKey   map[string]*Tenant
+	byID    map[string]*Tenant
+}
+
+// NewRegistry validates the tenant set: IDs and keys must be non-empty and
+// unique, classes must parse, rates and quotas non-negative.
+func NewRegistry(tenants []Tenant) (*Registry, error) {
+	r := &Registry{
+		tenants: append([]Tenant(nil), tenants...),
+		byKey:   make(map[string]*Tenant, len(tenants)),
+		byID:    make(map[string]*Tenant, len(tenants)),
+	}
+	for i := range r.tenants {
+		t := &r.tenants[i]
+		if t.ID == "" {
+			return nil, fmt.Errorf("cluster: tenant %d has no id", i)
+		}
+		if t.Key == "" {
+			return nil, fmt.Errorf("cluster: tenant %s has no key", t.ID)
+		}
+		if _, err := ParseClass(t.Class); err != nil {
+			return nil, fmt.Errorf("cluster: tenant %s: %w", t.ID, err)
+		}
+		if t.RatePerSec < 0 || t.Burst < 0 || t.MaxQueued < 0 {
+			return nil, fmt.Errorf("cluster: tenant %s has a negative rate, burst or quota", t.ID)
+		}
+		if _, dup := r.byID[t.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate tenant id %s", t.ID)
+		}
+		if _, dup := r.byKey[t.Key]; dup {
+			return nil, fmt.Errorf("cluster: tenants share an API key (second: %s)", t.ID)
+		}
+		r.byID[t.ID] = t
+		r.byKey[t.Key] = t
+	}
+	return r, nil
+}
+
+// tenantsFile is the on-disk shape LoadRegistry reads.
+type tenantsFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// LoadRegistry reads a tenant registry from a JSON file of the shape
+//
+//	{"tenants":[{"id":"papers","key":"...","class":"interactive",
+//	             "rate_per_sec":50,"burst":100,"max_queued_cells":500}, ...]}
+func LoadRegistry(path string) (*Registry, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f tenantsFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return nil, fmt.Errorf("cluster: parsing %s: %w", path, err)
+	}
+	if len(f.Tenants) == 0 {
+		return nil, fmt.Errorf("cluster: %s declares no tenants", path)
+	}
+	return NewRegistry(f.Tenants)
+}
+
+// LookupKey resolves an API key to its tenant.
+func (r *Registry) LookupKey(key string) (*Tenant, bool) {
+	if key == "" {
+		return nil, false
+	}
+	t, ok := r.byKey[key]
+	return t, ok
+}
+
+// Lookup resolves a tenant ID.
+func (r *Registry) Lookup(id string) (*Tenant, bool) {
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Tenants returns the tenants sorted by ID (copies, so callers cannot
+// mutate registry state).
+func (r *Registry) Tenants() []Tenant {
+	out := append([]Tenant(nil), r.tenants...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of tenants.
+func (r *Registry) Len() int { return len(r.tenants) }

@@ -5,9 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
+	"visasim/internal/cluster"
 	"visasim/internal/core"
 	"visasim/internal/harness"
 	"visasim/internal/obs"
@@ -23,6 +23,23 @@ type group struct {
 	keys  []string
 	res   *core.Result
 	stats harness.CellStats
+}
+
+// schedJob is one group waiting in the scheduling queue, with the channel
+// its Run collects the outcome on.
+type schedJob struct {
+	ctx    context.Context
+	g      *group
+	tenant string
+	ch     chan<- schedOutcome
+}
+
+// schedOutcome is a dispatcher's verdict on one group.
+type schedOutcome struct {
+	g   *group
+	res *core.Result
+	st  harness.CellStats
+	err error
 }
 
 // Run dispatches the cells across the cluster and returns keyed results
@@ -48,12 +65,34 @@ func (c *Coordinator) RunStats(cells []harness.Cell, opt harness.Options) (harne
 	return c.RunStatsContext(context.Background(), cells, opt)
 }
 
+// classOf resolves the priority class a sweep schedules under: the class
+// the context asks for, clamped to the tenant's own class (a bulk tenant
+// cannot ask for interactive service), defaulting to the tenant's class,
+// then Standard.
+func classOf(ctx context.Context, tenant *cluster.Tenant) cluster.PriorityClass {
+	cls := cluster.Standard
+	if tenant != nil {
+		cls = tenant.DefaultClass()
+	}
+	if want, ok := cluster.ClassFrom(ctx); ok {
+		if tenant != nil && want < tenant.DefaultClass() {
+			want = tenant.DefaultClass()
+		}
+		cls = want
+	}
+	return cls
+}
+
 // RunStatsContext is Run plus the per-cell cost records the winning backend
 // measured, bounded by ctx. The opt.Workers bound is ignored — concurrency
-// is Options.Workers across the whole cluster. When ctx does not already
-// carry a sweep correlation ID one is minted here, so a sweep entering the
-// cluster at the coordinator is correlated end to end exactly like one
-// entering at a client.
+// is Options.Workers across the whole cluster, shared by all concurrent
+// sweeps through the priority scheduler. When ctx does not already carry a
+// sweep correlation ID one is minted here, so a sweep entering the cluster
+// at the coordinator is correlated end to end exactly like one entering at
+// a client. With Options.Admission set, ctx must carry an admitted
+// tenant's API key (cluster.WithAPIKey); rejections surface unwrapped as
+// cluster.ErrUnknownKey or *cluster.AdmissionError before any cell
+// dispatches.
 func (c *Coordinator) RunStatsContext(ctx context.Context, cells []harness.Cell, _ harness.Options) (harness.Results, harness.Stats, error) {
 	if len(cells) == 0 {
 		return harness.Results{}, harness.Stats{}, nil
@@ -62,6 +101,22 @@ func (c *Coordinator) RunStatsContext(ctx context.Context, cells []harness.Cell,
 		return nil, nil, err
 	}
 	ctx, sweep := obs.EnsureSweep(ctx)
+
+	var tenant *cluster.Tenant
+	tenantID := "default"
+	if c.opt.Admission != nil {
+		t, err := c.opt.Admission.Admit(cluster.APIKeyFrom(ctx), len(cells))
+		if err != nil {
+			c.met.admissionRejects.Add(int64(1))
+			c.log.Warn("sweep rejected at admission", "sweep", sweep,
+				"cells", len(cells), "err", err)
+			return nil, nil, err
+		}
+		tenant = t
+		tenantID = t.ID
+		defer c.opt.Admission.Release(t.ID, len(cells))
+	}
+	class := classOf(ctx, tenant)
 
 	// Content-address every cell up front and fold duplicates into one
 	// dispatch group each.
@@ -85,6 +140,7 @@ func (c *Coordinator) RunStatsContext(ctx context.Context, cells []harness.Cell,
 		g.keys = append(g.keys, cell.Key)
 	}
 	c.met.cellsTotal.Add(int64(len(cells)))
+	c.met.addAdmitted(tenantID, class, len(cells))
 	if shared := len(cells) - len(groups); shared > 0 {
 		c.met.dedupShares.Add(int64(shared))
 	}
@@ -108,60 +164,40 @@ func (c *Coordinator) RunStatsContext(ctx context.Context, cells []harness.Cell,
 	c.log.Info("sweep dispatching", "sweep", sweep,
 		"cells", len(cells), "groups", len(groups),
 		"pending", len(pending), "resumed", len(groups)-len(pending),
-		"backends", len(c.backends))
+		"tenant", tenantID, "class", class.String(),
+		"backends", c.BackendCount())
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var (
-		mu       sync.Mutex
-		firstErr error
-	)
-	workers := c.opt.Workers
-	if workers > len(pending) {
-		workers = len(pending)
-	}
-	jobs := make(chan *group)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for g := range jobs {
-				mu.Lock()
-				stop := firstErr != nil
-				mu.Unlock()
-				if stop {
-					continue
-				}
-				res, st, err := c.dispatchGroup(ctx, g)
-				if err == nil && c.opt.Store != nil {
-					// Checkpoint as cells complete: a killed coordinator
-					// resumes from exactly this set. Best-effort — a full
-					// disk costs durability, not the sweep.
-					if perr := c.opt.Store.Put(g.hash, res, st); perr != nil {
-						c.met.storePutErrors.Add(1)
-						c.log.Warn("checkpoint write failed", "sweep", sweep,
-							"hash", g.hash[:12], "err", perr)
-					}
-				}
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = keyedError(g.keys[0], err)
-						cancel()
-					}
-				} else {
-					g.res, g.stats = res, st
-				}
-				mu.Unlock()
-			}
-		}()
-	}
+	outcomes := make(chan schedOutcome, len(pending))
+	queued := 0
+	var firstErr error
 	for _, g := range pending {
-		jobs <- g
+		item := &cluster.Item{
+			Class:   class,
+			Payload: &schedJob{ctx: ctx, g: g, tenant: tenantID, ch: outcomes},
+		}
+		if c.sched.Ordering() == cluster.OrderSJF {
+			item.Cost = c.opt.Cost(g.cfg)
+		}
+		if !c.sched.Push(item) {
+			firstErr = keyedError(g.keys[0], errors.New("dispatch: coordinator closed"))
+			cancel()
+			break
+		}
+		queued++
 	}
-	close(jobs)
-	wg.Wait()
+	for i := 0; i < queued; i++ {
+		out := <-outcomes
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = keyedError(out.g.keys[0], out.err)
+				cancel()
+			}
+			continue
+		}
+		out.g.res, out.g.stats = out.res, out.st
+	}
 	if firstErr != nil {
 		c.log.Error("sweep failed", "sweep", sweep, "err", firstErr)
 		return nil, nil, firstErr
@@ -178,6 +214,45 @@ func (c *Coordinator) RunStatsContext(ctx context.Context, cells []harness.Cell,
 		}
 	}
 	return results, stats, nil
+}
+
+// dispatcher is one worker of the shared pool: it drains the scheduling
+// queue in priority order, runs each group to completion, checkpoints the
+// result, and reports back to the owning Run. The pool — not the number of
+// concurrent Runs — bounds cluster-wide in-flight cells.
+func (c *Coordinator) dispatcher() {
+	defer c.wg.Done()
+	for {
+		it, ok := c.sched.Pop()
+		if !ok {
+			return
+		}
+		j := it.Payload.(*schedJob)
+		cls := it.Class.String()
+		c.met.queueWait.Observe(cls, time.Since(it.Enqueued).Seconds())
+		if err := j.ctx.Err(); err != nil {
+			// The owning Run already failed or was canceled; don't burn a
+			// backend on a result nobody collects.
+			j.ch <- schedOutcome{g: j.g, err: err}
+			continue
+		}
+		res, st, err := c.dispatchGroup(j.ctx, j.g)
+		if err == nil {
+			c.met.classLatency.Observe(cls, time.Since(it.Enqueued).Seconds())
+			c.met.addServed(j.tenant, len(j.g.keys))
+			if c.opt.Store != nil {
+				// Checkpoint as cells complete: a killed coordinator
+				// resumes from exactly this set. Best-effort — a full
+				// disk costs durability, not the sweep.
+				if perr := c.opt.Store.Put(j.g.hash, res, st); perr != nil {
+					c.met.storePutErrors.Add(1)
+					c.log.Warn("checkpoint write failed", "sweep", obs.SweepID(j.ctx),
+						"hash", j.g.hash[:12], "err", perr)
+				}
+			}
+		}
+		j.ch <- schedOutcome{g: j.g, res: res, st: st, err: err}
+	}
 }
 
 // keyedError guarantees the sweep's abort error is a *harness.CellError
@@ -208,9 +283,9 @@ func permanent(err error) bool {
 }
 
 // dispatchGroup runs one group to completion: up to MaxAttempts dispatch
-// attempts, exponential backoff with jitter between them, each attempt on
-// the least-loaded backend — preferring one the group has not just failed
-// on (failover).
+// attempts, exponential backoff with jitter between them, each attempt
+// routed by Options.Routing — preferring a backend the group has not just
+// failed on (failover).
 func (c *Coordinator) dispatchGroup(ctx context.Context, g *group) (*core.Result, harness.CellStats, error) {
 	sweep := obs.SweepID(ctx)
 	var lastErr error
@@ -230,7 +305,10 @@ func (c *Coordinator) dispatchGroup(ctx context.Context, g *group) (*core.Result
 		if err := ctx.Err(); err != nil {
 			return nil, harness.CellStats{}, err
 		}
-		b := c.pick(avoid)
+		b, err := c.pickWait(ctx, avoid, g.hash)
+		if err != nil {
+			return nil, harness.CellStats{}, err
+		}
 		if b == nil {
 			lastErr = errors.New("dispatch: no backend available")
 			continue
@@ -287,15 +365,21 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, g *group) (*core.
 		err   error
 	}
 	ch := make(chan outcome, 2) // buffered: the losing leg must not leak
+	// pick reserved the backend's inflight slot at selection time; each leg
+	// holds that reservation until it resolves, so concurrent least-loaded
+	// pickers always see each other's choices.
 	launch := func(b *backend) {
-		res, st, err := c.runOn(actx, b, g)
-		ch <- outcome{res, st, err}
+		go func() {
+			defer b.inflight.Add(-1)
+			res, st, err := c.runOn(actx, b, g)
+			ch <- outcome{res, st, err}
+		}()
 	}
-	go launch(b)
+	launch(b)
 	outstanding := 1
 
 	var hedge <-chan time.Time
-	if c.opt.HedgeAfter > 0 && len(c.backends) > 1 {
+	if c.opt.HedgeAfter > 0 {
 		t := time.NewTimer(c.opt.HedgeAfter)
 		defer t.Stop()
 		hedge = t.C
@@ -314,13 +398,17 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, g *group) (*core.
 			// it decide the attempt.
 		case <-hedge:
 			hedge = nil
-			if hb := c.pick(b.url); hb != nil && hb != b {
-				c.met.hedges.Add(1)
-				c.log.Info("cell hedged", "sweep", obs.SweepID(ctx),
-					"cell", g.keys[0], "first", b.url, "hedge", hb.url,
-					"after", c.opt.HedgeAfter)
-				outstanding++
-				go launch(hb)
+			if hb := c.pick(b.url, g.hash); hb != nil {
+				if hb == b {
+					hb.inflight.Add(-1) // not dispatching twice to the same backend
+				} else {
+					c.met.hedges.Add(1)
+					c.log.Info("cell hedged", "sweep", obs.SweepID(ctx),
+						"cell", g.keys[0], "first", b.url, "hedge", hb.url,
+						"after", c.opt.HedgeAfter)
+					outstanding++
+					launch(hb)
+				}
 			}
 		}
 	}
@@ -328,9 +416,8 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, g *group) (*core.
 
 // runOn executes g's representative cell on backend b as a single-cell
 // job and decodes the one result.
+// The caller holds b's inflight reservation for the duration of the call.
 func (c *Coordinator) runOn(ctx context.Context, b *backend, g *group) (*core.Result, harness.CellStats, error) {
-	b.inflight.Add(1)
-	defer b.inflight.Add(-1)
 	b.dispatched.Add(1)
 	t0 := time.Now()
 	defer func() { c.met.histAttempt.Observe(time.Since(t0).Seconds()) }()

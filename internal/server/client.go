@@ -10,8 +10,10 @@ import (
 	"log/slog"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
+	"visasim/internal/cluster"
 	"visasim/internal/core"
 	"visasim/internal/harness"
 	"visasim/internal/obs"
@@ -42,6 +44,16 @@ type Client struct {
 	// every submitted cell (see SubmitRequest.TraceLevel); download them
 	// with Trace after the job resolves.
 	TraceLevel int
+	// APIKey identifies the tenant against an admission-controlled daemon
+	// or coordinator; it travels in the cluster.KeyHeader header. Empty
+	// sends no key (fine against untenanted servers, 401 against tenanted
+	// ones).
+	APIKey string
+	// Retry429 bounds how many times Submit automatically backs off and
+	// retries a 429 (throttled) answer, honoring the server's Retry-After /
+	// cluster.RetryAfterMsHeader hints. 0 means the default (4); negative
+	// disables the backoff so a 429 surfaces immediately.
+	Retry429 int
 }
 
 func (c *Client) log() *slog.Logger { return obs.Logger(c.Logger) }
@@ -69,6 +81,10 @@ type HTTPError struct {
 	StatusCode int
 	// Msg is the daemon's error body (or raw bytes when not JSON).
 	Msg string
+	// RetryAfter is the server's back-off hint on a 429 — the
+	// cluster.RetryAfterMsHeader millisecond value when present, else the
+	// Retry-After seconds. Zero when the response carried neither.
+	RetryAfter time.Duration
 }
 
 func (e *HTTPError) Error() string {
@@ -85,14 +101,28 @@ func (e *HTTPError) Temporary() bool {
 	return e.StatusCode < 400 || e.StatusCode >= 500
 }
 
-// decodeError surfaces the server's JSON error body as an *HTTPError.
+// decodeError surfaces the server's JSON error body as an *HTTPError,
+// capturing any back-off hint headers on the way.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	he := &HTTPError{StatusCode: resp.StatusCode, Msg: string(bytes.TrimSpace(body))}
 	var er errorResponse
 	if json.Unmarshal(body, &er) == nil && er.Error != "" {
-		return &HTTPError{StatusCode: resp.StatusCode, Msg: er.Error}
+		he.Msg = er.Error
 	}
-	return &HTTPError{StatusCode: resp.StatusCode, Msg: string(bytes.TrimSpace(body))}
+	if ms := resp.Header.Get(cluster.RetryAfterMsHeader); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			he.RetryAfter = time.Duration(v) * time.Millisecond
+		}
+	}
+	if he.RetryAfter == 0 {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if v, err := strconv.Atoi(ra); err == nil && v > 0 {
+				he.RetryAfter = time.Duration(v) * time.Second
+			}
+		}
+	}
+	return he
 }
 
 // Submit posts one sweep and returns the job acknowledgement. The request
@@ -101,6 +131,10 @@ func decodeError(resp *http.Response) error {
 // one is minted here, and either way it travels to the daemon in the
 // obs.SweepHeader header so client, daemon and coordinator logs of the
 // same sweep grep together.
+// An admission-throttled daemon (429) is retried automatically: Submit
+// sleeps for the server's hinted duration and tries again, up to Retry429
+// times, so quota pressure degrades a tenant's sweep into a polite wait
+// instead of an error.
 func (c *Client) Submit(ctx context.Context, cells []harness.Cell) (SubmitResponse, error) {
 	ctx, sweep := obs.EnsureSweep(ctx)
 	req := SubmitRequest{Cells: make([]SubmitCell, len(cells)), TraceLevel: c.TraceLevel}
@@ -111,12 +145,50 @@ func (c *Client) Submit(ctx context.Context, cells []harness.Cell) (SubmitRespon
 	if err != nil {
 		return SubmitResponse{}, err
 	}
+	for attempt := 0; ; attempt++ {
+		ack, err := c.submitOnce(ctx, sweep, blob, len(cells))
+		var he *HTTPError
+		if err == nil || !errors.As(err, &he) ||
+			he.StatusCode != http.StatusTooManyRequests || attempt >= c.retries429() {
+			return ack, err
+		}
+		wait := he.RetryAfter
+		if wait <= 0 {
+			wait = 100 * time.Millisecond
+		}
+		c.log().Warn("sweep submit throttled; backing off", "sweep", sweep,
+			"server", c.BaseURL, "retry_after", wait, "attempt", attempt+1)
+		select {
+		case <-ctx.Done():
+			return SubmitResponse{}, fmt.Errorf("server: backing off after 429: %w", ctx.Err())
+		case <-time.After(wait):
+		}
+	}
+}
+
+// retries429 resolves the Retry429 knob: default 4, negative disables.
+func (c *Client) retries429() int {
+	switch {
+	case c.Retry429 < 0:
+		return 0
+	case c.Retry429 == 0:
+		return 4
+	default:
+		return c.Retry429
+	}
+}
+
+// submitOnce is one POST /v1/sweeps attempt.
+func (c *Client) submitOnce(ctx context.Context, sweep string, blob []byte, cells int) (SubmitResponse, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sweeps", bytes.NewReader(blob))
 	if err != nil {
 		return SubmitResponse{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set(obs.SweepHeader, sweep)
+	if c.APIKey != "" {
+		hreq.Header.Set(cluster.KeyHeader, c.APIKey)
+	}
 	resp, err := c.http().Do(hreq)
 	if err != nil {
 		c.log().Error("sweep submit failed", "sweep", sweep, "server", c.BaseURL, "err", err)
@@ -133,7 +205,7 @@ func (c *Client) Submit(ctx context.Context, cells []harness.Cell) (SubmitRespon
 		return SubmitResponse{}, fmt.Errorf("decoding submit response: %w", err)
 	}
 	c.log().Info("sweep submitted", "sweep", sweep, "server", c.BaseURL,
-		"job", ack.ID, "cells", len(cells))
+		"job", ack.ID, "cells", cells)
 	return ack, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"sync"
 
+	"visasim/internal/cluster"
 	"visasim/internal/harness"
 	"visasim/internal/obs"
 )
@@ -38,6 +39,8 @@ type metrics struct {
 	jobsFailed    expvar.Int
 	jobsCanceled  expvar.Int // rejected at shutdown while queued
 	jobsRejected  expvar.Int // refused at submit (queue full / shutdown)
+
+	admissionRejects expvar.Int // submissions bounced by the admission gate
 
 	cellsTotal     expvar.Int // resolved cells, hits + misses
 	cacheHits      expvar.Int // resolved without a fresh simulation
@@ -75,30 +78,31 @@ func newMetrics() *metrics {
 	m.root.Init()
 	m.cellStats.Init()
 	for name, v := range map[string]expvar.Var{
-		"jobs_submitted":   &m.jobsSubmitted,
-		"jobs_queued":      &m.jobsQueued,
-		"jobs_running":     &m.jobsRunning,
-		"jobs_done":        &m.jobsDone,
-		"jobs_failed":      &m.jobsFailed,
-		"jobs_canceled":    &m.jobsCanceled,
-		"jobs_rejected":    &m.jobsRejected,
-		"cells_total":      &m.cellsTotal,
-		"cache_hits":       &m.cacheHits,
-		"sims_run":         &m.simsRun,
-		"cache_hit_ratio":  &m.hitRatio,
-		"cache_size":       &m.cacheSize,
-		"cache_evictions":  &m.cacheEvictions,
-		"store_hits":       &m.storeHits,
-		"store_misses":     &m.storeMisses,
-		"store_put_errors": &m.storePutErrors,
-		"store_entries":    &m.storeEntries,
-		"store_bytes":      &m.storeBytes,
-		"sim_cycles":       &m.simCycles,
-		"sim_instructions": &m.simInstrs,
-		"sim_seconds":      &m.simSeconds,
-		"cells_per_sec":    &m.cellsPerSec,
-		"cycles_per_sec":   &m.cyclesPerSec,
-		"cells":            &m.cellStats,
+		"jobs_submitted":    &m.jobsSubmitted,
+		"jobs_queued":       &m.jobsQueued,
+		"jobs_running":      &m.jobsRunning,
+		"jobs_done":         &m.jobsDone,
+		"jobs_failed":       &m.jobsFailed,
+		"jobs_canceled":     &m.jobsCanceled,
+		"jobs_rejected":     &m.jobsRejected,
+		"admission_rejects": &m.admissionRejects,
+		"cells_total":       &m.cellsTotal,
+		"cache_hits":        &m.cacheHits,
+		"sims_run":          &m.simsRun,
+		"cache_hit_ratio":   &m.hitRatio,
+		"cache_size":        &m.cacheSize,
+		"cache_evictions":   &m.cacheEvictions,
+		"store_hits":        &m.storeHits,
+		"store_misses":      &m.storeMisses,
+		"store_put_errors":  &m.storePutErrors,
+		"store_entries":     &m.storeEntries,
+		"store_bytes":       &m.storeBytes,
+		"sim_cycles":        &m.simCycles,
+		"sim_instructions":  &m.simInstrs,
+		"sim_seconds":       &m.simSeconds,
+		"cells_per_sec":     &m.cellsPerSec,
+		"cycles_per_sec":    &m.cyclesPerSec,
+		"cells":             &m.cellStats,
 	} {
 		m.root.Set(name, v)
 	}
@@ -130,6 +134,7 @@ func (m *metrics) initProm() {
 	p.NewCounterFunc("visasimd_jobs_failed_total", "Jobs that finished with at least one failed cell.", intFn(&m.jobsFailed))
 	p.NewCounterFunc("visasimd_jobs_canceled_total", "Queued jobs canceled by shutdown.", intFn(&m.jobsCanceled))
 	p.NewCounterFunc("visasimd_jobs_rejected_total", "Submissions refused (queue full or shutting down).", intFn(&m.jobsRejected))
+	p.NewCounterFunc("visasimd_admission_rejected_jobs_total", "Submissions bounced by the tenant admission gate (401 or 429).", intFn(&m.admissionRejects))
 	p.NewCounterFunc("visasimd_cells_total", "Cells resolved, cache hits plus fresh simulations.", intFn(&m.cellsTotal))
 	p.NewCounterFunc("visasimd_cache_hits_total", "Cells resolved without a fresh simulation.", intFn(&m.cacheHits))
 	p.NewCounterFunc("visasimd_sims_run_total", "Fresh simulations executed.", intFn(&m.simsRun))
@@ -151,6 +156,35 @@ func (m *metrics) initProm() {
 		"Wall-clock of one fresh cell simulation (queue wait excluded).", nil)
 	m.histCacheHit = p.NewHistogram("visasimd_cache_serve_seconds",
 		"Time to serve a cell from the in-memory cache or the store.", nil)
+}
+
+// initTenantProm adds the per-tenant Prometheus families when admission
+// control is on. They are obs.SnapshotVec readers over the admission
+// snapshot — one source of truth, recomputed at scrape time — so the label
+// set always matches the registry and no key material ever leaves it.
+func (m *metrics) initTenantProm(adm *cluster.Admission) {
+	tenantSamples := func(value func(cluster.TenantStatus) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			snap := adm.Snapshot()
+			out := make([]obs.Sample, len(snap))
+			for i, ts := range snap {
+				out[i] = obs.Sample{
+					Labels: map[string]string{"tenant": ts.ID},
+					Value:  value(ts),
+				}
+			}
+			return out
+		}
+	}
+	m.prom.NewCounterSnapshotVec("visasimd_tenant_admitted_cells_total",
+		"Cells admitted per tenant.",
+		tenantSamples(func(ts cluster.TenantStatus) float64 { return float64(ts.Admitted) }))
+	m.prom.NewCounterSnapshotVec("visasimd_tenant_rejected_cells_total",
+		"Cells rejected per tenant (rate or quota).",
+		tenantSamples(func(ts cluster.TenantStatus) float64 { return float64(ts.Rejected) }))
+	m.prom.NewGaugeSnapshotVec("visasimd_tenant_queued_cells",
+		"Outstanding admitted cells per tenant (the quota in use).",
+		tenantSamples(func(ts cluster.TenantStatus) float64 { return float64(ts.Queued) }))
 }
 
 // recordCell accounts one resolved cell (hit or miss) and refreshes the

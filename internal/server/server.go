@@ -26,9 +26,11 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"visasim/internal/cluster"
 	"visasim/internal/core"
 	"visasim/internal/decision"
 	"visasim/internal/harness"
@@ -63,6 +65,16 @@ type Options struct {
 	// before simulating, so a restarted daemon serves previously computed
 	// cells from disk (see DESIGN.md §8).
 	Store *store.Store
+	// Tenants, when non-nil, turns on multi-tenant admission control: every
+	// submission must carry a known API key in the cluster.KeyHeader header
+	// (unknown or missing keys answer 401), and each tenant's token-bucket
+	// rate and outstanding-cell quota are enforced at submit. Rejections
+	// answer 429 with Retry-After (whole seconds) and
+	// cluster.RetryAfterMsHeader (millisecond precision) hints; the client
+	// in this package backs off on them automatically. Quota is released
+	// when the job retires — done, failed, or canceled alike. Nil keeps the
+	// daemon single-tenant and unauthenticated.
+	Tenants *cluster.Registry
 	// Logger receives the service's structured log lines. Every line
 	// about a job or cell carries the job's sweep correlation ID (taken
 	// from the obs.SweepHeader request header, or minted at submit), so
@@ -116,6 +128,9 @@ type job struct {
 	// traceLevel is the submission's decision-trace level; traced jobs
 	// bypass the result cache (see SubmitRequest.TraceLevel).
 	traceLevel int
+	// tenant is the admitted tenant's ID when admission control is on;
+	// its quota is released when the job retires.
+	tenant string
 
 	mu      sync.Mutex
 	state   string
@@ -137,6 +152,7 @@ type Server struct {
 	cache *resultCache
 	store *store.Store // durable tier; nil when not configured
 	met   *metrics
+	adm   *cluster.Admission // nil when Options.Tenants is nil
 	log   *slog.Logger
 
 	mu     sync.Mutex
@@ -165,6 +181,10 @@ func New(opt Options) *Server {
 		quit:  make(chan struct{}),
 		sem:   make(chan struct{}, opt.SimWorkers),
 	}
+	if opt.Tenants != nil {
+		s.adm = cluster.NewAdmission(opt.Tenants)
+		s.met.initTenantProm(s.adm)
+	}
 	s.wg.Add(opt.JobWorkers)
 	for i := 0; i < opt.JobWorkers; i++ {
 		go s.worker()
@@ -183,6 +203,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
@@ -233,21 +254,30 @@ func (s *Server) worker() {
 }
 
 func (s *Server) cancelJob(j *job) {
+	// Log before publishing the terminal state: a client that polls the job
+	// to completion may tear down its log sink the moment the state flips,
+	// so the write has to land first.
+	s.met.jobsCanceled.Add(1)
+	s.log.Warn("job canceled", "sweep", j.sweep, "job", j.id,
+		"reason", "shutdown before the job ran")
 	j.mu.Lock()
 	j.state = StateCanceled
 	j.err = "server shutting down before the job ran"
 	j.bump()
 	j.mu.Unlock()
 	s.retireJob(j)
-	s.met.jobsCanceled.Add(1)
-	s.log.Warn("job canceled", "sweep", j.sweep, "job", j.id,
-		"reason", "shutdown before the job ran")
 }
 
 // retireJob records j as terminal and evicts terminal jobs beyond the
 // JobHistory cap, oldest first, so the jobs map (and the per-cell Results
-// it pins) stays bounded on a long-running daemon.
+// it pins) stays bounded on a long-running daemon. It is also the single
+// admission-release point: every accepted job — done, failed, or canceled —
+// retires exactly once, so its tenant's outstanding-cell quota frees here
+// and nowhere else.
 func (s *Server) retireJob(j *job) {
+	if s.adm != nil && j.tenant != "" {
+		s.adm.Release(j.tenant, len(j.cells))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.hist = append(s.hist, j.id)
@@ -375,24 +405,29 @@ func (s *Server) runJob(j *job) {
 			hits++
 		}
 	}
-	if failed {
-		j.state = StateFailed
-	} else {
-		j.state = StateDone
-	}
-	state := j.state
-	j.bump()
 	j.mu.Unlock()
-	s.retireJob(j)
 
+	state := StateDone
+	if failed {
+		state = StateFailed
+	}
 	s.met.jobsRunning.Add(-1)
 	if failed {
 		s.met.jobsFailed.Add(1)
 	} else {
 		s.met.jobsDone.Add(1)
 	}
+	// Log before publishing the terminal state: a client that polls the job
+	// to completion may tear down its log sink the moment the state flips,
+	// so the write has to land first.
 	s.log.Info("job finished", "sweep", j.sweep, "job", j.id,
 		"state", state, "cells", len(j.cells), "cache_hits", hits)
+
+	j.mu.Lock()
+	j.state = state
+	j.bump()
+	j.mu.Unlock()
+	s.retireJob(j)
 }
 
 // runTracedCell simulates one cell of a traced job with decision recording,
@@ -539,9 +574,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		sweep = obs.NewSweepID()
 	}
 
+	// The admission gate: authenticate the tenant key and charge the cells
+	// against its rate and quota before the job can enter the queue. Every
+	// rejection below this point must hand the charge back.
+	tenant := ""
+	if s.adm != nil {
+		t, err := s.adm.Admit(r.Header.Get(cluster.KeyHeader), len(cells))
+		if err != nil {
+			s.rejectAdmission(w, sweep, err)
+			return
+		}
+		tenant = t.ID
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.releaseAdmission(tenant, len(cells))
 		s.met.jobsRejected.Add(1)
 		s.log.Warn("job rejected", "sweep", sweep, "reason", "shutting down")
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
@@ -557,6 +606,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		sweep:      sweep,
 		queuedAt:   time.Now(),
 		traceLevel: traceLevel,
+		tenant:     tenant,
 		state:      StateQueued,
 		cells:      cells,
 		changed:    make(chan struct{}),
@@ -565,6 +615,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
+		s.releaseAdmission(tenant, len(cells))
 		s.met.jobsRejected.Add(1)
 		s.log.Warn("job rejected", "sweep", sweep, "reason", "queue full",
 			"queue_depth", s.opt.QueueDepth)
@@ -576,7 +627,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.met.jobsSubmitted.Add(1)
 	s.met.jobsQueued.Add(1)
-	s.log.Info("job accepted", "sweep", sweep, "job", j.id, "cells", len(cells))
+	if tenant != "" {
+		s.log.Info("job accepted", "sweep", sweep, "job", j.id, "cells", len(cells), "tenant", tenant)
+	} else {
+		s.log.Info("job accepted", "sweep", sweep, "job", j.id, "cells", len(cells))
+	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID:     j.id,
 		Sweep:  sweep,
@@ -584,6 +639,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Job:    "/v1/jobs/" + j.id,
 		Stream: "/v1/jobs/" + j.id + "/stream",
 	})
+}
+
+// rejectAdmission answers an admission failure: 401 for an unknown (or
+// missing) API key, 429 with both retry hints for a rate or quota bounce.
+func (s *Server) rejectAdmission(w http.ResponseWriter, sweep string, err error) {
+	s.met.jobsRejected.Add(1)
+	s.met.admissionRejects.Add(1)
+	var ae *cluster.AdmissionError
+	switch {
+	case errors.Is(err, cluster.ErrUnknownKey):
+		s.log.Warn("job rejected", "sweep", sweep, "reason", "unknown API key")
+		writeError(w, http.StatusUnauthorized, "%v", err)
+	case errors.As(err, &ae):
+		secs := int((ae.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.Header().Set(cluster.RetryAfterMsHeader,
+			strconv.FormatInt(ae.RetryAfter.Milliseconds(), 10))
+		s.log.Warn("job rejected", "sweep", sweep, "tenant", ae.Tenant,
+			"reason", ae.Reason, "retry_after", ae.RetryAfter)
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		s.log.Error("admission failed", "sweep", sweep, "err", err)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// releaseAdmission hands an admitted charge back when the job is rejected
+// after the admission gate (queue full, shutdown race).
+func (s *Server) releaseAdmission(tenant string, cells int) {
+	if s.adm != nil && tenant != "" {
+		s.adm.Release(tenant, cells)
+	}
 }
 
 // snapshot renders the job's current state. It marshals results outside the
@@ -746,6 +836,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		tr.WriteNDJSON(w) //nolint:errcheck // client went away; nothing to do
 	}
+}
+
+// handleTenants reports tenant quotas and usage (never keys) — the same
+// shape the coordinator's control plane serves, so `visasimctl tenants`
+// works against either. An untenanted daemon answers an empty list.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if s.adm == nil {
+		writeJSON(w, http.StatusOK, []cluster.TenantStatus{})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.adm.Snapshot())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

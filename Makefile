@@ -72,19 +72,19 @@ bench:
 # machine-readable results to BENCH_pr8.json for regression tracking across
 # PRs (earlier PRs' records live in BENCH_pr1.json and BENCH_pr7.json).
 bench-throughput:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFaultInjection|BenchmarkTwinScreen|BenchmarkDispatchScheduler' -benchmem -bench-json BENCH_pr8.json .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFaultInjection|BenchmarkTwinScreen|BenchmarkDispatchScheduler|BenchmarkIQOrganizations' -benchmem -bench-json BENCH_pr9.json .
 
 # Regenerates testdata/golden from current simulator behaviour. Only run
 # after a deliberate modelling change; commit the diff with an explanation.
 golden:
-	$(GO) test -run TestGolden -update .
+	$(GO) test . -run TestGolden -update
 
 # Refits the analytical twin against fresh simulator measurements and
 # rewrites internal/twin/model.json plus testdata/golden/twin. Run after
 # any change to the simulator's modelled behaviour or the twin's equations;
 # commit both artifacts together.
 twin-golden:
-	$(GO) test -run TestGoldenCalibration -update ./internal/twin
+	$(GO) test ./internal/twin -run TestGoldenCalibration -update
 
 # Regenerates every table and figure at the recorded budget (see
 # EXPERIMENTS.md). Takes several minutes.

@@ -23,6 +23,8 @@ import (
 	"visasim/internal/experiments"
 	"visasim/internal/explore"
 	"visasim/internal/inject"
+	"visasim/internal/iqorg"
+	"visasim/internal/isa"
 	"visasim/internal/pipeline"
 	"visasim/internal/trace"
 	"visasim/internal/twin"
@@ -363,6 +365,120 @@ func BenchmarkACEAnalyzer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		exec.Next(&d)
 		an.Retire(&d)
+	}
+}
+
+// iqOrgBenchUops builds a reusable pool of synthetic uops spread across
+// four threads, sized to fill one issue queue per pass.
+func iqOrgBenchUops(n int) []*uarch.Uop {
+	in := &isa.Inst{Kind: isa.IntALU, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	pool := make([]*uarch.Uop, n)
+	for i := range pool {
+		pool[i] = &uarch.Uop{Dyn: trace.DynInst{Static: in}, Thread: int32(i % 4), IQSlot: -1, LSQSlot: -1}
+	}
+	return pool
+}
+
+// iqOrgPass runs one synthetic fill/wake/drain pass shaped like the
+// pipeline's issue-queue hot path: storage operations (Insert, Wake,
+// Remove) go straight to the shared queue; the policy decisions
+// (CanAccept, Select, EndCycle) dispatch through the Organization
+// interface when org is non-nil, and hand-inline the seed's unified-AGE
+// behaviour when it is nil (the "direct" baseline; the internal/iqorg
+// overhead test asserts the difference stays under 5%). Odd-indexed uops
+// arrive with a pending source so half the pool takes the Wake path;
+// draining selects oldest-first in issue-width batches. Returns the
+// select cycles and queue ops consumed.
+func iqOrgPass(org iqorg.Organization, q *uarch.IQ, pool []*uarch.Uop, age uint64) (cycles, ops uint64) {
+	const issueWidth = 8
+	for i, u := range pool {
+		u.Age = age + uint64(i)
+		u.SrcPending = int8(i & 1)
+		if q.Full() || (org != nil && !org.CanAccept(int(u.Thread))) {
+			u.SrcPending = 0
+			continue
+		}
+		q.Insert(u)
+		ops++
+	}
+	for _, u := range pool {
+		if u.IQSlot >= 0 && u.SrcPending != 0 {
+			u.SrcPending = 0
+			q.Wake(u)
+			ops++
+		}
+	}
+	for q.Len() > 0 {
+		var sel []*uarch.Uop
+		if org != nil {
+			sel = org.Select(uarch.SchedOldestFirst)
+		} else {
+			sel = q.ReadyCandidates(uarch.SchedOldestFirst)
+		}
+		ops++
+		if len(sel) == 0 {
+			break
+		}
+		if len(sel) > issueWidth {
+			sel = sel[:issueWidth]
+		}
+		for _, u := range sel {
+			q.Remove(u)
+			ops++
+		}
+		if org != nil {
+			org.EndCycle(age + cycles)
+		}
+		cycles++
+	}
+	return cycles, ops
+}
+
+// BenchmarkIQOrganizations measures the issue-queue organization layer's
+// op throughput (ops/sec over Insert+Wake+Select+Remove) for every
+// registered organization, plus the "direct" bare-queue baseline. One op
+// unit = one fill/wake/drain pass over a paper-sized 96-entry queue.
+func BenchmarkIQOrganizations(b *testing.B) {
+	iqSize := config.Default().IQSize
+	variants := []struct {
+		name string
+		mk   func() iqorg.Organization
+	}{
+		{"direct", nil},
+	}
+	for _, k := range iqorg.Kinds() {
+		k := k
+		variants = append(variants, struct {
+			name string
+			mk   func() iqorg.Organization
+		}{k.String(), func() iqorg.Organization { return iqorg.NewKind(k, uarch.NewIQ(iqSize), 0) }})
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			pool := iqOrgBenchUops(iqSize)
+			var org iqorg.Organization
+			q := uarch.NewIQ(iqSize)
+			if v.mk != nil {
+				org = v.mk()
+				q = org.Queue()
+			}
+			var cycles, ops uint64
+			age := uint64(0)
+			b.ResetTimer()
+			t0 := time.Now()
+			for i := 0; i < b.N; i++ {
+				c, o := iqOrgPass(org, q, pool, age)
+				cycles += c
+				ops += o
+				age += uint64(iqSize) + c
+			}
+			elapsed := time.Since(t0)
+			if elapsed > 0 {
+				b.ReportMetric(float64(ops)/elapsed.Seconds(), "queue-ops/sec")
+			}
+			recordBench(b, "IQOrg/"+v.name, cycles, ops, elapsed)
+		})
 	}
 }
 

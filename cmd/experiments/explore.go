@@ -17,6 +17,8 @@ type exploreParams struct {
 	Seed    uint64
 	Verify  int    // frontier points to verify through the simulator (0 = none)
 	JSON    string // optional machine-readable frontier report path
+	Orgs    string // comma-separated IQ organizations ("" = all registered)
+	Prots   string // comma-separated IQ protection modes ("" = all registered)
 }
 
 // runExplore screens the default design space through the analytical twin,
@@ -29,7 +31,18 @@ func runExplore(p experiments.Params, ep exploreParams) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("loading twin model: %w", err)
 	}
-	enum, err := explore.DefaultSpace().Compile(model)
+	space := explore.DefaultSpace()
+	if orgs, err := explore.ParseOrgs(ep.Orgs); err != nil {
+		return "", err
+	} else if orgs != nil {
+		space.Orgs = orgs
+	}
+	if prots, err := explore.ParseProts(ep.Prots); err != nil {
+		return "", err
+	} else if prots != nil {
+		space.Prots = prots
+	}
+	enum, err := space.Compile(model)
 	if err != nil {
 		return "", err
 	}

@@ -73,6 +73,8 @@ func main() {
 		exploreSeed    = flag.Uint64("explore-seed", 1, "explore target: sampling seed")
 		exploreVerify  = flag.Int("explore-verify", 8, "explore target: frontier points to verify through the simulator (0 = screen only)")
 		exploreJSON    = flag.String("explore-json", "", "explore target: also write the full frontier report as JSON to this file")
+		exploreOrgs    = flag.String("explore-orgs", "", "explore target: comma-separated IQ organizations to sweep (default all: unified-age,swque,partitioned)")
+		exploreProts   = flag.String("explore-prots", "", "explore target: comma-separated IQ protection modes to sweep (default all: none,parity,ecc,partial-replication)")
 	)
 	flag.Parse()
 
@@ -155,7 +157,7 @@ func main() {
 	targets := flag.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"table2", "table3", "fig1", "fig2", "table1",
-			"fig5", "fig6", "fig8", "fig9", "fig10"}
+			"fig5", "fig6", "fig8", "fig9", "fig10", "iqmatrix"}
 	}
 
 	for _, tgt := range targets {
@@ -176,6 +178,8 @@ func main() {
 				Seed:    *exploreSeed,
 				Verify:  *exploreVerify,
 				JSON:    *exploreJSON,
+				Orgs:    *exploreOrgs,
+				Prots:   *exploreProts,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: explore: %v\n", err)
@@ -275,6 +279,12 @@ func run(target string, p experiments.Params) (string, csvWriter, error) {
 		return experiments.Table2(), nil, nil
 	case "table3":
 		return experiments.Table3(), nil, nil
+	case "iqmatrix":
+		r, err := experiments.IQMatrix(p)
+		if err != nil {
+			return "", nil, err
+		}
+		return r.String(), r, nil
 	case "ext-rob":
 		r, err := experiments.ExtensionROBDVM(p)
 		if err != nil {

@@ -35,6 +35,9 @@ func main() {
 		intervals  = flag.Bool("intervals", false, "print per-interval statistics")
 		jsonOut    = flag.Bool("json", false, "emit the full result as JSON instead of text")
 		cfgPath    = flag.String("config", "", "machine configuration JSON file (default: the paper's machine)")
+		iqOrg      = flag.String("iq-org", "", "issue-queue organization: unified-age, swque, partitioned (default: unified-age)")
+		iqWM       = flag.Int("iq-watermark", 0, "per-thread entry cap for -iq-org partitioned (0 = default 17)")
+		iqProt     = flag.String("iq-protection", "", "issue-queue protection: none, parity, ecc, partial-replication (default: none)")
 		traceLvl   = flag.Int("trace-level", 0, "record a decision trace: 0 off, 1 decision edges, 2 adds per-sample observations")
 		traceOut   = flag.String("trace-out", "", "decision trace output file (default decisions.vdt when -trace-level > 0)")
 	)
@@ -69,6 +72,27 @@ func main() {
 		m, err := config.Parse(data)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", *cfgPath, err))
+		}
+		cfg.Machine = &m
+	}
+	if *iqOrg != "" || *iqWM != 0 || *iqProt != "" {
+		// Overlay the IQ axes on whatever machine -config selected.
+		m := config.Default()
+		if cfg.Machine != nil {
+			m = *cfg.Machine
+		}
+		if *iqOrg != "" {
+			m.IQOrg = *iqOrg
+		}
+		if *iqWM != 0 {
+			m.IQWatermark = *iqWM
+		}
+		if *iqProt != "" {
+			m.IQProtection = *iqProt
+		}
+		m = m.Canonical()
+		if err := m.Validate(); err != nil {
+			fatal(err)
 		}
 		cfg.Machine = &m
 	}
@@ -165,6 +189,16 @@ func parsePolicy(s string) (pipeline.FetchPolicyKind, error) {
 func printResult(r *core.Result, cfg core.Config) {
 	fmt.Printf("workload        %s\n", strings.Join(r.Benchmarks, ","))
 	fmt.Printf("scheme/policy   %v / %v\n", r.Scheme, r.Policy)
+	if cfg.Machine != nil {
+		m := cfg.Machine.Canonical()
+		if m.IQOrg != config.OrgUnifiedAGE || m.IQProtection != config.ProtNone {
+			line := fmt.Sprintf("IQ org/prot     %s", m.IQOrg)
+			if m.IQOrg == config.OrgPartitioned {
+				line += fmt.Sprintf(" (watermark %d)", m.IQWatermark)
+			}
+			fmt.Printf("%s / %s\n", line, m.IQProtection)
+		}
+	}
 	fmt.Printf("cycles          %d\n", r.Cycles)
 	fmt.Printf("throughput IPC  %.3f\n", r.ThroughputIPC)
 	fmt.Printf("harmonic IPC    %.3f\n", r.HarmonicIPC)

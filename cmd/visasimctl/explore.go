@@ -30,6 +30,8 @@ func cmdExplore(args []string) error {
 	hedge := fs.Duration("hedge", 0, "re-dispatch straggler verify cells after this delay (0 disables)")
 	cellTimeout := fs.Duration("timeout", 10*time.Minute, "per-cell dispatch attempt deadline")
 	jsonPath := fs.String("json", "", "also write the full frontier report as JSON to this file")
+	orgsCSV := fs.String("orgs", "", "comma-separated IQ organizations to sweep (default all: unified-age,swque,partitioned)")
+	protsCSV := fs.String("prots", "", "comma-separated IQ protection modes to sweep (default all: none,parity,ecc,partial-replication)")
 	logLevel := fs.String("log-level", "warn", "minimum log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log line format: text or json")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
@@ -38,7 +40,18 @@ func cmdExplore(args []string) error {
 	if err != nil {
 		return fmt.Errorf("loading twin model: %w", err)
 	}
-	enum, err := explore.DefaultSpace().Compile(model)
+	space := explore.DefaultSpace()
+	if orgs, err := explore.ParseOrgs(*orgsCSV); err != nil {
+		return err
+	} else if orgs != nil {
+		space.Orgs = orgs
+	}
+	if prots, err := explore.ParseProts(*protsCSV); err != nil {
+		return err
+	} else if prots != nil {
+		space.Prots = prots
+	}
+	enum, err := space.Compile(model)
 	if err != nil {
 		return err
 	}

@@ -121,6 +121,35 @@ type BranchConfig struct {
 	RASEntries    int // per thread
 }
 
+// Issue-queue organization names (the IQOrg axis; implementations live in
+// internal/iqorg). The empty string canonicalizes to OrgUnifiedAGE.
+const (
+	// OrgUnifiedAGE is the paper's baseline: one shared queue, oldest-first
+	// (AGE) selection across all threads.
+	OrgUnifiedAGE = "unified-age"
+	// OrgSWQUE is a mode-switching queue that runs as a circular FIFO in
+	// low-occupancy phases and as an AGE queue in capacity-demanding ones.
+	OrgSWQUE = "swque"
+	// OrgPartitioned is a dynamically partitioned per-thread queue with a
+	// dispatch watermark, as reverse-engineered on real SMT silicon.
+	OrgPartitioned = "partitioned"
+)
+
+// Issue-queue protection mode names (the IQProtection axis; the cost model
+// lives in internal/iqorg). The empty string canonicalizes to ProtNone.
+const (
+	ProtNone        = "none"
+	ProtParity      = "parity"
+	ProtECC         = "ecc"
+	ProtPartialRepl = "partial-replication"
+)
+
+// DefaultWatermark is the per-thread dispatch watermark the partitioned
+// organization assumes when IQWatermark is zero: 17 entries, the value
+// SMTcheck reverse-engineered on a 70-entry POWER-class issue queue. The
+// canonical value is clamped to IQSize for small queues.
+const DefaultWatermark = 17
+
 // Machine is the full simulated-machine configuration.
 type Machine struct {
 	// Pipeline widths (fetch = issue = commit, Table 2).
@@ -140,6 +169,17 @@ type Machine struct {
 	IQSize  int // shared issue queue entries
 	ROBSize int // per thread
 	LSQSize int // per thread
+
+	// IQOrg selects the issue-queue organization (OrgUnifiedAGE, OrgSWQUE,
+	// OrgPartitioned); IQWatermark is the per-thread dispatch cap for the
+	// partitioned organization (0 means min(DefaultWatermark, IQSize) and
+	// must stay 0 for other organizations); IQProtection selects the
+	// soft-error protection mode (ProtNone, ProtParity, ProtECC,
+	// ProtPartialRepl). Empty strings canonicalize to the defaults; see
+	// Canonical.
+	IQOrg        string
+	IQWatermark  int
+	IQProtection string
 
 	// Function units (Table 2).
 	IntALUs    int
@@ -178,6 +218,9 @@ func Default() Machine {
 		ROBSize: 96,
 		LSQSize: 48,
 
+		IQOrg:        OrgUnifiedAGE,
+		IQProtection: ProtNone,
+
 		IntALUs:    8,
 		IntMulDivs: 4,
 		LoadStores: 4,
@@ -208,6 +251,28 @@ func Default() Machine {
 // isa.FUClass ordinal (int ALU, int mul/div, load/store, FP ALU, FP mul/div).
 func (m Machine) FUCount() [5]int {
 	return [5]int{m.IntALUs, m.IntMulDivs, m.LoadStores, m.FPALUs, m.FPMulDivs}
+}
+
+// Canonical returns m with the issue-queue axis fields made explicit: an
+// empty IQOrg becomes OrgUnifiedAGE, an empty IQProtection becomes ProtNone,
+// and a zero IQWatermark on the partitioned organization becomes
+// min(DefaultWatermark, IQSize). Canonical is idempotent, and Parse applies
+// it, so hashing layers (core.Config.Canonical/Hash) see one representation
+// per machine regardless of which spelling the caller used.
+func (m Machine) Canonical() Machine {
+	if m.IQOrg == "" {
+		m.IQOrg = OrgUnifiedAGE
+	}
+	if m.IQProtection == "" {
+		m.IQProtection = ProtNone
+	}
+	if m.IQOrg == OrgPartitioned && m.IQWatermark == 0 {
+		m.IQWatermark = DefaultWatermark
+		if m.IQSize > 0 && m.IQWatermark > m.IQSize {
+			m.IQWatermark = m.IQSize
+		}
+	}
+	return m
 }
 
 // Validate reports an error for inconsistent configurations.
@@ -252,6 +317,24 @@ func (m Machine) Validate() error {
 	case m.MispredictPenalty < 0 || m.MispredictPenalty > maxLatency:
 		return fmt.Errorf("config: mispredict penalty %d out of range", m.MispredictPenalty)
 	}
+	switch m.IQOrg {
+	case "", OrgUnifiedAGE, OrgSWQUE, OrgPartitioned:
+	default:
+		return fmt.Errorf("config: unknown issue-queue organization %q", m.IQOrg)
+	}
+	switch m.IQProtection {
+	case "", ProtNone, ProtParity, ProtECC, ProtPartialRepl:
+	default:
+		return fmt.Errorf("config: unknown issue-queue protection %q", m.IQProtection)
+	}
+	if m.IQOrg == OrgPartitioned {
+		if m.IQWatermark < 0 || m.IQWatermark > m.IQSize {
+			return fmt.Errorf("config: watermark %d out of range for %d-entry partitioned queue",
+				m.IQWatermark, m.IQSize)
+		}
+	} else if m.IQWatermark != 0 {
+		return fmt.Errorf("config: IQWatermark requires the partitioned organization (IQOrg is %q)", m.IQOrg)
+	}
 	for _, c := range []CacheConfig{m.L1I, m.L1D, m.L2} {
 		if err := c.Validate(); err != nil {
 			return err
@@ -281,6 +364,7 @@ func Parse(data []byte) (Machine, error) {
 	if dec.More() {
 		return Machine{}, fmt.Errorf("config: trailing data after configuration object")
 	}
+	m = m.Canonical()
 	if err := m.Validate(); err != nil {
 		return Machine{}, err
 	}
@@ -293,10 +377,16 @@ func (m Machine) MarshalJSON() ([]byte, error) {
 	return json.Marshal(plain(m))
 }
 
-// String renders the configuration as the rows of Table 2.
+// String renders the configuration as the rows of Table 2, plus the
+// issue-queue organization and protection axes this reproduction adds.
 func (m Machine) String() string {
+	c := m.Canonical()
+	org := c.IQOrg
+	if c.IQOrg == OrgPartitioned {
+		org = fmt.Sprintf("%s (watermark %d)", c.IQOrg, c.IQWatermark)
+	}
 	return fmt.Sprintf(`Processor Width     %d-wide fetch/issue/commit
-Issue Queue         %d
+Issue Queue         %d entries, %s, %s protection
 ITLB                %d entries, %d-way, %d cycle miss
 Branch Predictor    %d entries Gshare, %d-bit global history per thread
 BTB                 %d entries, %d-way
@@ -311,7 +401,7 @@ L1 Data Cache       %dK, %d-way, %d Byte/line, %d cycle access
 L2 Cache            unified %dM, %d-way, %d Byte/line, %d cycle access
 Memory Access       %d cycles access latency`,
 		m.FetchWidth,
-		m.IQSize,
+		m.IQSize, org, c.IQProtection,
 		m.ITLB.Entries, m.ITLB.Assoc, m.ITLB.MissPenalty,
 		m.Branch.GshareEntries, m.Branch.HistoryBits,
 		m.Branch.BTBEntries, m.Branch.BTBAssoc,

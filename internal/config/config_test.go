@@ -159,6 +159,83 @@ func TestMachineString(t *testing.T) {
 	}
 }
 
+func TestCanonicalIQAxes(t *testing.T) {
+	m := Default()
+	m.IQOrg, m.IQProtection = "", ""
+	c := m.Canonical()
+	if c.IQOrg != OrgUnifiedAGE || c.IQProtection != ProtNone {
+		t.Fatalf("empty axes must canonicalize to defaults, got %q/%q", c.IQOrg, c.IQProtection)
+	}
+	if c != c.Canonical() {
+		t.Fatal("Canonical must be idempotent")
+	}
+	if c != Default() {
+		t.Fatal("canonicalizing empty axes must reproduce the explicit default machine")
+	}
+
+	m = Default()
+	m.IQOrg = OrgPartitioned
+	if got := m.Canonical().IQWatermark; got != DefaultWatermark {
+		t.Fatalf("partitioned watermark default = %d, want %d", got, DefaultWatermark)
+	}
+	m.IQSize = 12
+	if got := m.Canonical().IQWatermark; got != 12 {
+		t.Fatalf("watermark must clamp to IQSize, got %d", got)
+	}
+	m.IQSize, m.IQWatermark = 70, 9
+	if got := m.Canonical().IQWatermark; got != 9 {
+		t.Fatalf("explicit watermark must survive canonicalization, got %d", got)
+	}
+}
+
+func TestParseCanonicalizesIQAxes(t *testing.T) {
+	m, err := Parse([]byte(`{"IQOrg": "", "IQProtection": ""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != Default() {
+		t.Fatalf("empty spellings must parse to the default machine, got %+v", m)
+	}
+	p, err := Parse([]byte(`{"IQOrg": "partitioned", "IQSize": 70}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IQWatermark != DefaultWatermark {
+		t.Fatalf("Parse must canonicalize the watermark, got %d", p.IQWatermark)
+	}
+}
+
+func TestValidateIQAxes(t *testing.T) {
+	bad := []func(*Machine){
+		func(m *Machine) { m.IQOrg = "ring" },
+		func(m *Machine) { m.IQProtection = "tmr" },
+		func(m *Machine) { m.IQWatermark = 5 }, // watermark without partitioning
+		func(m *Machine) { m.IQOrg = OrgPartitioned; m.IQWatermark = -1 },
+		func(m *Machine) { m.IQOrg = OrgPartitioned; m.IQWatermark = m.IQSize + 1 },
+	}
+	for i, mut := range bad {
+		m := Default()
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("IQ-axis mutation %d validated but should not", i)
+		}
+	}
+	good := []func(*Machine){
+		func(m *Machine) { m.IQOrg = OrgSWQUE },
+		func(m *Machine) { m.IQOrg = OrgPartitioned; m.IQWatermark = 17 },
+		func(m *Machine) { m.IQOrg = OrgPartitioned }, // pre-canonical zero watermark
+		func(m *Machine) { m.IQProtection = ProtECC },
+		func(m *Machine) { m.IQOrg, m.IQProtection = "", "" }, // pre-canonical spellings
+	}
+	for i, mut := range good {
+		m := Default()
+		mut(&m)
+		if err := m.Validate(); err != nil {
+			t.Errorf("IQ-axis variant %d rejected: %v", i, err)
+		}
+	}
+}
+
 func TestFUCountOrder(t *testing.T) {
 	m := Default()
 	c := m.FUCount()

@@ -18,6 +18,15 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"IQSize": 96} trailing`))
 	f.Add([]byte(`{"MemoryLatency": -5}`))
 	f.Add([]byte(`{"L2": {"SizeBytes": 4294967296, "Assoc": 1048576, "LineBytes": 1048576}}`))
+	f.Add([]byte(`{"IQOrg": "swque"}`))
+	f.Add([]byte(`{"IQOrg": "partitioned", "IQSize": 70}`))
+	f.Add([]byte(`{"IQOrg": "partitioned", "IQWatermark": 17}`))
+	f.Add([]byte(`{"IQOrg": "partitioned", "IQWatermark": 200}`)) // watermark > IQSize
+	f.Add([]byte(`{"IQOrg": "ring"}`))                            // unknown organization
+	f.Add([]byte(`{"IQWatermark": 5}`))                           // watermark without partitioning
+	f.Add([]byte(`{"IQProtection": "ecc"}`))
+	f.Add([]byte(`{"IQProtection": "parity", "IQOrg": "swque"}`))
+	f.Add([]byte(`{"IQProtection": "tmr"}`)) // unknown protection
 	if def, err := json.Marshal(Default()); err == nil {
 		f.Add(def)
 	}
@@ -29,6 +38,12 @@ func FuzzParse(f *testing.F) {
 		}
 		if verr := m.Validate(); verr != nil {
 			t.Fatalf("Parse accepted an invalid machine: %v", verr)
+		}
+		// Parse output must already be canonical — the content-addressed
+		// cache hashes machines, so two spellings of one machine ("" vs
+		// "unified-age") must never both escape Parse.
+		if m != m.Canonical() {
+			t.Fatalf("Parse returned a non-canonical machine: %+v", m)
 		}
 		out, err := json.Marshal(m)
 		if err != nil {

@@ -10,7 +10,12 @@ import (
 // hashDomain versions the cell-hash encoding. Bump it whenever Config's
 // canonical form changes meaning (field added, default changed), so stale
 // content addresses can never alias a different simulation.
-const hashDomain = "visasim-config-v2\n"
+//
+// History: v1 → v2 fixed a Warmup canonicalization aliasing bug; v2 → v3
+// added the issue-queue organization axes (Machine.IQOrg, IQWatermark,
+// IQProtection) to the canonical machine encoding. See DESIGN.md's
+// hash-domain history for when results remain comparable across domains.
+const hashDomain = "visasim-config-v3\n"
 
 // Canonical returns the configuration with every defaulted field filled in
 // (machine, budget, warmup, profile window), validated exactly as Run

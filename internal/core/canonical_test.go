@@ -131,6 +131,71 @@ func TestHashWarmupDisabled(t *testing.T) {
 	}
 }
 
+// TestHashIQAxesCanonicalize pins the v3 hash-domain hygiene for the
+// issue-queue axes, mirroring the Warmup precedent from v2: the defaults
+// canonicalize to explicit spellings ("unified-age"/"none", not ""), so a
+// machine that leaves the axes unset and one that spells them out are one
+// equivalence class, while any non-default organization, watermark, or
+// protection separates. Canonicalization must clone the machine — never
+// mutate the caller's through the shared pointer.
+func TestHashIQAxesCanonicalize(t *testing.T) {
+	hash := func(mut func(*config.Machine)) string {
+		t.Helper()
+		m := config.Default()
+		if mut != nil {
+			mut(&m)
+		}
+		h, err := (Config{Machine: &m, Benchmarks: []string{"gcc"}, Scheme: SchemeBase}).Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	def := hash(nil)
+	if implicit := hash(func(m *config.Machine) { m.IQOrg, m.IQProtection = "", "" }); implicit != def {
+		t.Errorf("empty axis spellings must hash like the explicit defaults: %s vs %s", implicit, def)
+	}
+	seen := map[string]string{"default": def}
+	for name, mut := range map[string]func(*config.Machine){
+		"swque":       func(m *config.Machine) { m.IQOrg = config.OrgSWQUE },
+		"partitioned": func(m *config.Machine) { m.IQOrg = config.OrgPartitioned },
+		"watermark":   func(m *config.Machine) { m.IQOrg = config.OrgPartitioned; m.IQWatermark = 24 },
+		"parity":      func(m *config.Machine) { m.IQProtection = config.ProtParity },
+		"ecc":         func(m *config.Machine) { m.IQProtection = config.ProtECC },
+	} {
+		h := hash(mut)
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("axis settings %s and %s collide on %s", name, prev, h)
+		}
+		for prevName, prevHash := range seen {
+			if h == prevHash {
+				t.Errorf("axis settings %s and %s collide on %s", name, prevName, h)
+			}
+		}
+		seen[name] = h
+	}
+	// The partitioned default watermark must be explicit in the canonical
+	// form: watermark 0 and watermark 17 are the same machine.
+	implicitWM := hash(func(m *config.Machine) { m.IQOrg = config.OrgPartitioned })
+	explicitWM := hash(func(m *config.Machine) {
+		m.IQOrg = config.OrgPartitioned
+		m.IQWatermark = config.DefaultWatermark
+	})
+	if implicitWM != explicitWM {
+		t.Errorf("default watermark must canonicalize explicitly: %s vs %s", implicitWM, explicitWM)
+	}
+	// Canonicalizing must not write through the caller's Machine pointer.
+	m := config.Default()
+	m.IQOrg = ""
+	cfg := Config{Machine: &m, Benchmarks: []string{"gcc"}, Scheme: SchemeBase}
+	if _, err := cfg.Canonical(); err != nil {
+		t.Fatal(err)
+	}
+	if m.IQOrg != "" {
+		t.Error("Canonical mutated the caller's machine through the shared pointer")
+	}
+}
+
 func TestHashRejectsInvalidConfig(t *testing.T) {
 	if _, err := (Config{}).Hash(); err == nil {
 		t.Fatal("empty benchmark list hashed without error")

@@ -135,6 +135,12 @@ func (c *Config) withDefaults() (Config, error) {
 	if out.Machine == nil {
 		m := config.Default()
 		out.Machine = &m
+	} else if canon := out.Machine.Canonical(); canon != *out.Machine {
+		// Clone before canonicalizing the machine's issue-queue axis
+		// fields: `out := *c` copies the Machine pointer, and mutating
+		// the caller's machine in place is exactly the aliasing bug that
+		// forced the v1→v2 hash-domain bump for Warmup.
+		out.Machine = &canon
 	}
 	if out.MaxInstructions == 0 {
 		out.MaxInstructions = DefaultInstructions

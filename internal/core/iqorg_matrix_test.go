@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"visasim/internal/config"
+	"visasim/internal/iqorg"
+	"visasim/internal/pipeline"
+)
+
+// iqorgRun executes one 4-thread cell with the given machine mutations.
+func iqorgRun(t *testing.T, wl []string, scheme Scheme, budget uint64, mut func(*config.Machine)) *Result {
+	t.Helper()
+	m := config.Default()
+	if mut != nil {
+		mut(&m)
+	}
+	cfg := Config{
+		Machine:         &m,
+		Benchmarks:      wl,
+		Scheme:          scheme,
+		Policy:          pipeline.PolicyICOUNT,
+		MaxInstructions: budget,
+	}
+	if scheme == SchemeDVM {
+		cfg.DVMTarget = 0.04
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestIQOrgMatrixDirections pins that each non-default organization and
+// protection mode moves IPC and IQ AVF in the paper-expected direction
+// relative to the unified-AGE unprotected baseline. The simulator is
+// deterministic, so the inequalities are stable pins, not statistics.
+func TestIQOrgMatrixDirections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	const budget = 40_000
+	memA := []string{"mcf", "equake", "vpr", "swim"}
+	mixA := []string{"gcc", "mcf", "vpr", "perlbmk"}
+
+	// Partitioned (SMTcheck watermark): capping each thread at 17 resident
+	// entries keeps memory-stalled threads from filling the queue with
+	// unissuable ACE entries — occupancy and IQ AVF drop on both the MEM
+	// and MIX workloads, and throughput must not pay for it (the watermark
+	// is the structural form of what ICOUNT/DVM chase reactively).
+	for _, wl := range [][]string{memA, mixA} {
+		base := iqorgRun(t, wl, SchemeBase, budget, nil)
+		part := iqorgRun(t, wl, SchemeBase, budget, func(m *config.Machine) { m.IQOrg = config.OrgPartitioned })
+		t.Logf("%v partitioned: IPC %.4f->%.4f IQAVF %.4f->%.4f occ %.1f->%.1f",
+			wl, base.ThroughputIPC, part.ThroughputIPC, base.IQAVF, part.IQAVF,
+			base.MeanIQOccupancy, part.MeanIQOccupancy)
+		if part.IQAVF >= base.IQAVF {
+			t.Errorf("%v: partitioned IQAVF %.4f not below unified %.4f", wl, part.IQAVF, base.IQAVF)
+		}
+		if part.MeanIQOccupancy >= base.MeanIQOccupancy {
+			t.Errorf("%v: partitioned occupancy %.1f not below unified %.1f",
+				wl, part.MeanIQOccupancy, base.MeanIQOccupancy)
+		}
+		if part.ThroughputIPC < 0.95*base.ThroughputIPC {
+			t.Errorf("%v: partitioned IPC %.4f collapsed vs unified %.4f",
+				wl, part.ThroughputIPC, base.ThroughputIPC)
+		}
+		if wm := 4 * config.DefaultWatermark; part.IQHighWater > wm {
+			t.Errorf("%v: high water %d exceeds 4 threads x watermark %d", wl, part.IQHighWater, wm)
+		}
+	}
+
+	// SWQUE under VISA: the circular mode cannot reorder by ACE tag, so the
+	// queue gives back part of VISA's vulnerable-residency win (IQ AVF up)
+	// and its reduced circular capacity costs throughput (IPC down) — the
+	// hardware-simplicity tradeoff the SWQUE work accepts.
+	{
+		uni := iqorgRun(t, mixA, SchemeVISA, budget, nil)
+		sw := iqorgRun(t, mixA, SchemeVISA, budget, func(m *config.Machine) { m.IQOrg = config.OrgSWQUE })
+		t.Logf("swque+visa: IPC %.4f->%.4f IQAVF %.4f->%.4f",
+			uni.ThroughputIPC, sw.ThroughputIPC, uni.IQAVF, sw.IQAVF)
+		if sw.IQAVF <= uni.IQAVF {
+			t.Errorf("swque under VISA: IQAVF %.4f not above unified %.4f", sw.IQAVF, uni.IQAVF)
+		}
+		if sw.ThroughputIPC >= uni.ThroughputIPC {
+			t.Errorf("swque under VISA: IPC %.4f not below unified %.4f", sw.ThroughputIPC, uni.ThroughputIPC)
+		}
+	}
+
+	// Protection modes on the unmanaged machine: parity and partial
+	// replication sit off the timing paths, so IPC is bit-identical and the
+	// reported IQ AVF is exactly the mitigation-scaled baseline; ECC's
+	// corrector delays every wakeup, so it must cost throughput while
+	// mitigating the most.
+	{
+		base := iqorgRun(t, memA, SchemeBase, budget, nil)
+		for _, tc := range []struct {
+			prot string
+			p    iqorg.Protection
+		}{
+			{config.ProtParity, iqorg.Parity},
+			{config.ProtPartialRepl, iqorg.PartialReplication},
+		} {
+			r := iqorgRun(t, memA, SchemeBase, budget, func(m *config.Machine) { m.IQProtection = tc.prot })
+			if r.ThroughputIPC != base.ThroughputIPC || r.Cycles != base.Cycles {
+				t.Errorf("%s: off-path protection changed timing (IPC %.4f vs %.4f)",
+					tc.prot, r.ThroughputIPC, base.ThroughputIPC)
+			}
+			want := base.IQAVF * tc.p.AVFScale()
+			if math.Abs(r.IQAVF-want) > 1e-12 {
+				t.Errorf("%s: IQAVF %.6f, want mitigation-scaled %.6f", tc.prot, r.IQAVF, want)
+			}
+		}
+		ecc := iqorgRun(t, memA, SchemeBase, budget, func(m *config.Machine) { m.IQProtection = config.ProtECC })
+		t.Logf("ecc: IPC %.4f->%.4f IQAVF %.4f->%.4f", base.ThroughputIPC, ecc.ThroughputIPC, base.IQAVF, ecc.IQAVF)
+		if ecc.ThroughputIPC >= base.ThroughputIPC {
+			t.Errorf("ecc: wakeup tax did not cost IPC (%.4f vs %.4f)", ecc.ThroughputIPC, base.ThroughputIPC)
+		}
+		if ecc.IQAVF >= 0.05*base.IQAVF {
+			t.Errorf("ecc: residual IQAVF %.6f not under 5%% of baseline %.6f", ecc.IQAVF, base.IQAVF)
+		}
+	}
+
+	// Protection × DVM: DVM throttles on the residual (post-mitigation)
+	// AVF, so a protected queue reaches the same absolute target with less
+	// throttling — fewer triggers and higher throughput.
+	{
+		none := iqorgRun(t, memA, SchemeDVM, budget, nil)
+		par := iqorgRun(t, memA, SchemeDVM, budget, func(m *config.Machine) { m.IQProtection = config.ProtParity })
+		t.Logf("dvm: none IPC %.4f triggers %d; parity IPC %.4f triggers %d",
+			none.ThroughputIPC, none.DVMTriggers, par.ThroughputIPC, par.DVMTriggers)
+		if par.DVMTriggers >= none.DVMTriggers {
+			t.Errorf("dvm+parity: triggers %d not below unprotected %d", par.DVMTriggers, none.DVMTriggers)
+		}
+		if par.ThroughputIPC <= none.ThroughputIPC {
+			t.Errorf("dvm+parity: IPC %.4f not above unprotected %.4f", par.ThroughputIPC, none.ThroughputIPC)
+		}
+	}
+}
+
+// TestIQOrgSchemeComposition: every organization x protection pair composes
+// with every scheme — no panics, budget reached, plausible outputs. This is
+// the integration surface the experiments matrix sweeps.
+func TestIQOrgSchemeComposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	wl := []string{"gcc", "mcf", "vpr", "perlbmk"}
+	const budget = 8_000
+	for _, org := range []string{config.OrgUnifiedAGE, config.OrgSWQUE, config.OrgPartitioned} {
+		for _, prot := range []string{config.ProtNone, config.ProtParity, config.ProtECC, config.ProtPartialRepl} {
+			for _, scheme := range []Scheme{SchemeBase, SchemeVISA, SchemeVISAOpt1, SchemeVISAOpt2, SchemeDVM} {
+				r := iqorgRun(t, wl, scheme, budget, func(m *config.Machine) {
+					m.IQOrg, m.IQProtection = org, prot
+				})
+				if r.TotalCommits() < budget {
+					t.Errorf("%s/%s/%v: committed %d of %d", org, prot, scheme, r.TotalCommits(), budget)
+				}
+				if r.IQAVF < 0 || r.IQAVF > 1 || r.ThroughputIPC <= 0 {
+					t.Errorf("%s/%s/%v: implausible AVF=%v IPC=%v", org, prot, scheme, r.IQAVF, r.ThroughputIPC)
+				}
+			}
+		}
+	}
+}

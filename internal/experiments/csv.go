@@ -117,3 +117,21 @@ func (r *Fig10Result) WriteCSV(w io.Writer) error {
 	}
 	return report.WriteCSV(w, []string{"scheme", "category", "target_frac", "pve"}, rows)
 }
+
+// WriteCSV emits mix,org,prot,scheme,ipc,iq_avf,iq_occ,dvm_triggers,area_extra rows.
+func (r *IQMatrixResult) WriteCSV(w io.Writer) error {
+	var rows [][]string
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Mix, c.Org.String(), c.Prot.String(), c.Scheme.String(),
+			fmt.Sprintf("%.6f", c.IPC),
+			fmt.Sprintf("%.6f", c.IQAVF),
+			fmt.Sprintf("%.3f", c.IQOcc),
+			fmt.Sprint(c.DVMTriggers),
+			fmt.Sprintf("%.1f", c.AreaExtra),
+		})
+	}
+	return report.WriteCSV(w,
+		[]string{"mix", "org", "prot", "scheme", "ipc", "iq_avf", "iq_occ", "dvm_triggers", "area_extra"},
+		rows)
+}

@@ -3,6 +3,9 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"visasim/internal/core"
+	"visasim/internal/iqorg"
 )
 
 // small returns a budget small enough for CI but large enough to cross
@@ -287,6 +290,47 @@ func TestAblationPredictor(t *testing.T) {
 	for i, mr := range r.MispredRate {
 		if mr < 0.01 || mr > 0.35 {
 			t.Errorf("%v mispredict rate %.3f implausible", r.Kinds[i], mr)
+		}
+	}
+}
+
+func TestIQMatrixShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	r, err := IQMatrix(Params{Budget: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.String())
+	if want := len(r.Mixes) * len(r.Orgs) * len(r.Prots) * len(r.Schemes); len(r.Cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(r.Cells), want)
+	}
+	for _, mix := range r.Mixes {
+		// The default corner must behave like the unadorned scheme runs,
+		// and every protection must leave the baseline scheme with no more
+		// residual vulnerability than the unprotected queue.
+		unp := r.cell(mix, iqorg.UnifiedAGE, iqorg.None, core.SchemeBase)
+		if unp == nil || unp.IPC <= 0 {
+			t.Fatalf("%s: missing or implausible default cell", mix)
+		}
+		for _, prot := range []iqorg.Protection{iqorg.Parity, iqorg.ECC, iqorg.PartialReplication} {
+			c := r.cell(mix, iqorg.UnifiedAGE, prot, core.SchemeBase)
+			if c.IQAVF >= unp.IQAVF {
+				t.Errorf("%s/%v: residual AVF %.4f not below unprotected %.4f",
+					mix, prot, c.IQAVF, unp.IQAVF)
+			}
+			if c.AreaExtra <= 0 {
+				t.Errorf("%s/%v: protection reported no area cost", mix, prot)
+			}
+		}
+		// Protected queues need less DVM throttling at the same absolute
+		// target.
+		dvmU := r.cell(mix, iqorg.UnifiedAGE, iqorg.None, core.SchemeDVM)
+		dvmP := r.cell(mix, iqorg.UnifiedAGE, iqorg.Parity, core.SchemeDVM)
+		if dvmU.DVMTriggers > 0 && dvmP.DVMTriggers > dvmU.DVMTriggers {
+			t.Errorf("%s: parity increased DVM triggers (%d -> %d)",
+				mix, dvmU.DVMTriggers, dvmP.DVMTriggers)
 		}
 	}
 }

@@ -16,8 +16,10 @@ package explore
 
 import (
 	"fmt"
+	"strings"
 
 	"visasim/internal/core"
+	"visasim/internal/iqorg"
 	"visasim/internal/pipeline"
 	"visasim/internal/twin"
 )
@@ -41,6 +43,13 @@ type Space struct {
 	Policies []pipeline.FetchPolicyKind
 	IQSizes  []int
 	FUs      [][5]int
+
+	// Orgs and Prots are the issue-queue organization and protection
+	// axes. Leaving either empty means "the default only" (unified AGE,
+	// unprotected) — Compile fills the singleton — so spaces written
+	// before these axes existed keep their meaning and their size.
+	Orgs  []iqorg.Kind
+	Prots []iqorg.Protection
 }
 
 // FUGrid builds a function-unit axis as the cross product of per-class
@@ -63,8 +72,9 @@ func FUGrid(intALUs, intMulDivs, loadStores, fpALUs, fpMulDivs []int) [][5]int {
 
 // DefaultSpace is the production sweep: every Table 3 mix and thread
 // count, every fetch policy, all twin-modelled schemes with seven DVM
-// target depths, eleven issue-queue sizes and a 648-point function-unit
-// grid — about 14.1 million design points.
+// target depths, eleven issue-queue sizes, every issue-queue organization
+// and protection mode, and a 648-point function-unit grid — about 170
+// million design points.
 func DefaultSpace() Space {
 	return Space{
 		Mixes:    seqInts(0, len(twin.MixIndices())-1),
@@ -73,6 +83,8 @@ func DefaultSpace() Space {
 		DVMFracs: []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8},
 		Policies: pipeline.AllPolicies(),
 		IQSizes:  []int{16, 24, 32, 48, 64, 80, 96, 128, 160, 192, 256},
+		Orgs:     iqorg.Kinds(),
+		Prots:    iqorg.Protections(),
 		FUs: FUGrid(
 			[]int{2, 4, 6, 8, 12, 16},
 			[]int{1, 2, 4},
@@ -81,6 +93,39 @@ func DefaultSpace() Space {
 			[]int{1, 2, 4},
 		),
 	}
+}
+
+// ParseOrgs resolves a comma-separated organization list ("" → nil, which
+// Compile treats as the default singleton). Shared by the explore CLIs.
+func ParseOrgs(s string) ([]iqorg.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []iqorg.Kind
+	for _, name := range strings.Split(s, ",") {
+		k, err := iqorg.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// ParseProts resolves a comma-separated protection-mode list ("" → nil).
+func ParseProts(s string) ([]iqorg.Protection, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []iqorg.Protection
+	for _, name := range strings.Split(s, ",") {
+		p, err := iqorg.ParseProtection(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }
 
 func seqInts(from, to int) []int {
@@ -129,6 +174,16 @@ func (s Space) Compile(m *twin.Model) (*Enum, error) {
 		}
 	}
 
+	// Empty organization/protection axes mean "default only": older space
+	// definitions keep their size and their index bijection over the
+	// remaining axes (the new digits then have radix 1).
+	if len(s.Orgs) == 0 {
+		s.Orgs = []iqorg.Kind{iqorg.UnifiedAGE}
+	}
+	if len(s.Prots) == 0 {
+		s.Prots = []iqorg.Protection{iqorg.None}
+	}
+
 	e := &Enum{space: s}
 	for _, sch := range s.Schemes {
 		if sch == core.SchemeDVM {
@@ -151,6 +206,7 @@ func (s Space) Compile(m *twin.Model) (*Enum, error) {
 			Mix: s.Mixes[0], Threads: s.Threads[0],
 			Scheme: e.variants[0].scheme, DVMFrac: e.variants[0].frac,
 			Policy: s.Policies[0], IQSize: s.IQSizes[0], FU: s.FUs[0],
+			Org: s.Orgs[0], Prot: s.Prots[0],
 		}
 		mod(&in)
 		return m.Valid(&in)
@@ -187,9 +243,21 @@ func (s Space) Compile(m *twin.Model) (*Enum, error) {
 			return nil, err
 		}
 	}
+	for _, org := range s.Orgs {
+		org := org
+		if err := probe(func(in *twin.Input) { in.Org = org }); err != nil {
+			return nil, err
+		}
+	}
+	for _, prot := range s.Prots {
+		prot := prot
+		if err := probe(func(in *twin.Input) { in.Prot = prot }); err != nil {
+			return nil, err
+		}
+	}
 
 	e.size = 1
-	for _, n := range []int{len(s.Mixes), len(s.Threads), len(e.variants), len(s.Policies), len(s.IQSizes), len(s.FUs)} {
+	for _, n := range []int{len(s.Mixes), len(s.Threads), len(e.variants), len(s.Policies), len(s.IQSizes), len(s.FUs), len(s.Orgs), len(s.Prots)} {
 		e.size *= int64(n)
 		if e.size < 0 || e.size > 1<<50 {
 			return nil, fmt.Errorf("explore: space size overflows the index range")
@@ -206,10 +274,16 @@ func (e *Enum) Space() Space { return e.space }
 
 // Decode maps an index in [0, Size()) to its design point. It is the
 // screening hot path: zero allocation, mixed-radix digit extraction in
-// axis order (FU fastest, mix slowest).
+// axis order (protection fastest, then organization, FU, …, mix slowest).
 func (e *Enum) Decode(i int64, in *twin.Input) {
 	s := &e.space
-	d := i % int64(len(s.FUs))
+	d := i % int64(len(s.Prots))
+	in.Prot = s.Prots[d]
+	i /= int64(len(s.Prots))
+	d = i % int64(len(s.Orgs))
+	in.Org = s.Orgs[d]
+	i /= int64(len(s.Orgs))
+	d = i % int64(len(s.FUs))
 	in.FU = s.FUs[d]
 	i /= int64(len(s.FUs))
 	d = i % int64(len(s.IQSizes))

@@ -8,6 +8,7 @@ import (
 
 	"visasim/internal/core"
 	"visasim/internal/harness"
+	"visasim/internal/iqorg"
 	"visasim/internal/pipeline"
 	"visasim/internal/twin"
 )
@@ -321,5 +322,57 @@ func TestWriteFrontierWithoutVerification(t *testing.T) {
 	}
 	if !strings.Contains(Summary(res), "frontier") {
 		t.Fatalf("summary missing frontier count: %s", Summary(res))
+	}
+}
+
+// TestCompileIQAxes covers the organization/protection axes: empty axes
+// compile to the default singleton without changing the space's size or
+// bijection, populated axes multiply the size, and every decoded point
+// carries a protection-priced area.
+func TestCompileIQAxes(t *testing.T) {
+	m := testModel(t)
+	plain, err := tinySpace().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in twin.Input
+	plain.Decode(0, &in)
+	if in.Org != iqorg.UnifiedAGE || in.Prot != iqorg.None {
+		t.Fatalf("empty axes decoded to %v/%v, want defaults", in.Org, in.Prot)
+	}
+
+	s := tinySpace()
+	s.Orgs = iqorg.Kinds()
+	s.Prots = []iqorg.Protection{iqorg.None, iqorg.ECC}
+	e, err := s.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := plain.Size() * int64(len(s.Orgs)) * 2; e.Size() != want {
+		t.Fatalf("size %d, want %d", e.Size(), want)
+	}
+	seen := map[[2]int]bool{}
+	sawECCPrice := false
+	var p twin.Prediction
+	for i := int64(0); i < e.Size(); i++ {
+		e.Decode(i, &in)
+		if err := m.Valid(&in); err != nil {
+			t.Fatalf("index %d decodes to invalid input: %v", i, err)
+		}
+		seen[[2]int{int(in.Org), int(in.Prot)}] = true
+		if in.Prot == iqorg.ECC {
+			m.Evaluate(&in, &p)
+			base := twin.AreaProxy(in.IQSize, in.Threads, &in.FU)
+			if p.Area != base+iqorg.ECC.AreaCost(in.IQSize) {
+				t.Fatalf("index %d: ECC area %v not priced over proxy %v", i, p.Area, base)
+			}
+			sawECCPrice = true
+		}
+	}
+	if len(seen) != len(s.Orgs)*2 {
+		t.Fatalf("decoded %d org/prot pairs, want %d", len(seen), len(s.Orgs)*2)
+	}
+	if !sawECCPrice {
+		t.Fatal("no ECC point was decoded")
 	}
 }

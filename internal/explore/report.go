@@ -46,7 +46,7 @@ func WriteFrontier(w io.Writer, pts []Point, verified []Verified) error {
 
 	mixes := workload.Mixes()
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	header := "POINT\tMIX\tT\tSCHEME\tPOLICY\tIQ\tFU\tDVM\tAREA\tIPC*\tIQAVF*"
+	header := "POINT\tMIX\tT\tSCHEME\tPOLICY\tIQ\tORG\tPROT\tFU\tDVM\tAREA\tIPC*\tIQAVF*"
 	if len(byIdx) > 0 {
 		header += "\tIPC\tIQAVF\tERR(IPC)\tERR(AVF)"
 	}
@@ -65,9 +65,9 @@ func WriteFrontier(w io.Writer, pts []Point, verified []Verified) error {
 		for c, n := range p.In.FU {
 			fu[c] = fmt.Sprint(n)
 		}
-		fmt.Fprintf(tw, "%d\t%s\t%d\t%v\t%v\t%d\t%s\t%s\t%.0f\t%.3f\t%.4f",
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%v\t%v\t%d\t%v\t%v\t%s\t%s\t%.0f\t%.3f\t%.4f",
 			p.Index, mix, p.In.Threads, p.In.Scheme, p.In.Policy,
-			p.In.IQSize, strings.Join(fu, "/"), dvm,
+			p.In.IQSize, p.In.Org, p.In.Prot, strings.Join(fu, "/"), dvm,
 			p.Pred.Area, p.Pred.IPC, p.Pred.IQAVF)
 		if len(byIdx) > 0 {
 			if v := byIdx[p.Index]; v != nil {

@@ -1,0 +1,53 @@
+package iqorg
+
+import (
+	"visasim/internal/config"
+	"visasim/internal/uarch"
+)
+
+// PartitionedOrg is a dynamically partitioned per-thread organization after
+// SMTcheck's reverse-engineered SMT issue queue (70 entries, watermark 17):
+// entries are allocated from the shared pool, but a thread whose resident
+// count has reached the watermark may not dispatch further uops until some of
+// its entries issue. This caps how far a stalled thread (a load-miss chain)
+// can fill the queue with unissuable, highly-ACE entries — the same pathology
+// the paper's DVM attacks reactively, enforced here structurally.
+type PartitionedOrg struct {
+	q         *uarch.IQ
+	watermark int
+}
+
+// NewPartitioned wraps q with a per-thread dispatch watermark; 0 selects the
+// SMTcheck default clamped to the queue size.
+func NewPartitioned(q *uarch.IQ, watermark int) *PartitionedOrg {
+	if watermark <= 0 {
+		watermark = config.DefaultWatermark
+	}
+	if watermark > q.Size() {
+		watermark = q.Size()
+	}
+	return &PartitionedOrg{q: q, watermark: watermark}
+}
+
+func (o *PartitionedOrg) Kind() Kind           { return Partitioned }
+func (o *PartitionedOrg) Name() string         { return config.OrgPartitioned }
+func (o *PartitionedOrg) Queue() *uarch.IQ     { return o.q }
+func (o *PartitionedOrg) Insert(u *uarch.Uop)  { o.q.Insert(u) }
+func (o *PartitionedOrg) Remove(u *uarch.Uop)  { o.q.Remove(u) }
+func (o *PartitionedOrg) Wake(u *uarch.Uop)    { o.q.Wake(u) }
+func (o *PartitionedOrg) Census() uarch.Census { return o.q.Census() }
+func (o *PartitionedOrg) EndCycle(uint64)      {}
+
+// Watermark returns the per-thread dispatch cap.
+func (o *PartitionedOrg) Watermark() int { return o.watermark }
+
+// CanAccept admits a thread only while it holds fewer than watermark entries.
+func (o *PartitionedOrg) CanAccept(thread int) bool {
+	return o.q.ThreadLen(thread) < o.watermark
+}
+
+// Select is age-ordered like the unified queue: SMTcheck's partitioning
+// governs allocation, not issue priority.
+func (o *PartitionedOrg) Select(sched uarch.Scheduler) []*uarch.Uop {
+	return o.q.ReadyCandidates(sched)
+}

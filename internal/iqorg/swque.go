@@ -1,0 +1,94 @@
+package iqorg
+
+import (
+	"visasim/internal/config"
+	"visasim/internal/uarch"
+)
+
+// SWQUE mode-switching parameters.
+const (
+	// swqueWindow is the decision interval: the queue re-picks its mode
+	// every window from the occupancy high-water of the previous window.
+	swqueWindow = 1024
+	// swqueCircNum/Den bound the circular mode's usable capacity at 3/4
+	// of the queue: a circular FIFO reclaims slots only in allocation
+	// order, so out-of-order completion leaves holes that age-matrix
+	// compaction would have reused.
+	swqueCircNum = 3
+	swqueCircDen = 4
+)
+
+// SWQUEOrg is a mode-switching organization after SWQUE: in low-occupancy
+// phases it behaves as a circular FIFO — cheaper wakeup/select hardware,
+// modelled here as strict oldest-first selection (no ACE-tag reordering even
+// under the VISA scheduler, since a circular queue cannot reorder) and a
+// usable capacity of 3/4 of the entries (slot-reclamation holes). When a
+// window's occupancy high-water reaches the circular capacity the queue
+// switches to full AGE-matrix behaviour, identical to Unified, and switches
+// back once demand subsides.
+type SWQUEOrg struct {
+	q *uarch.IQ
+
+	circ      bool // current mode: circular FIFO vs AGE matrix
+	circCap   int  // usable entries in circular mode
+	highWater int  // occupancy high-water in the current window
+	switches  int  // mode transitions (telemetry/testing aid)
+}
+
+// NewSWQUEOrg wraps q in the mode-switching organization, starting in the
+// circular mode (the reset state is empty, hence low-occupancy).
+func NewSWQUEOrg(q *uarch.IQ) *SWQUEOrg {
+	cap := q.Size() * swqueCircNum / swqueCircDen
+	if cap < 1 {
+		cap = 1
+	}
+	return &SWQUEOrg{q: q, circ: true, circCap: cap}
+}
+
+func (o *SWQUEOrg) Kind() Kind           { return SWQUE }
+func (o *SWQUEOrg) Name() string         { return config.OrgSWQUE }
+func (o *SWQUEOrg) Queue() *uarch.IQ     { return o.q }
+func (o *SWQUEOrg) Insert(u *uarch.Uop)  { o.q.Insert(u) }
+func (o *SWQUEOrg) Remove(u *uarch.Uop)  { o.q.Remove(u) }
+func (o *SWQUEOrg) Wake(u *uarch.Uop)    { o.q.Wake(u) }
+func (o *SWQUEOrg) Census() uarch.Census { return o.q.Census() }
+
+// CircularMode reports the current mode (testing/telemetry aid).
+func (o *SWQUEOrg) CircularMode() bool { return o.circ }
+
+// Switches returns the number of mode transitions so far.
+func (o *SWQUEOrg) Switches() int { return o.switches }
+
+// CanAccept gates dispatch at the circular mode's reduced capacity; the AGE
+// mode admits up to the full queue like Unified.
+func (o *SWQUEOrg) CanAccept(int) bool {
+	return !o.circ || o.q.Len() < o.circCap
+}
+
+// Select returns age-ordered candidates. The circular mode cannot reorder,
+// so it ignores the VISA scheduler's ACE-tag partitioning and issues strictly
+// oldest-first.
+func (o *SWQUEOrg) Select(sched uarch.Scheduler) []*uarch.Uop {
+	if o.circ {
+		return o.q.ReadyCandidates(uarch.SchedOldestFirst)
+	}
+	return o.q.ReadyCandidates(sched)
+}
+
+// EndCycle tracks the window's occupancy high-water and re-picks the mode at
+// window boundaries: AGE when demand reached the circular capacity, circular
+// otherwise.
+func (o *SWQUEOrg) EndCycle(now uint64) {
+	if l := o.q.Len(); l > o.highWater {
+		o.highWater = l
+	}
+	if now%swqueWindow != swqueWindow-1 {
+		return
+	}
+	wantCirc := o.highWater < o.circCap
+	if wantCirc != o.circ {
+		o.circ = wantCirc
+		o.switches++
+	}
+	o.highWater = 0
+}

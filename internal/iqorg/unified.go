@@ -1,0 +1,32 @@
+package iqorg
+
+import (
+	"visasim/internal/config"
+	"visasim/internal/uarch"
+)
+
+// Unified is the paper's baseline organization: one shared queue, age-ordered
+// selection, no admission policy beyond shared occupancy. Every method is a
+// direct delegation, so the pipeline's behaviour through this organization is
+// byte-identical to the pre-interface hard-wired queue (pinned by the golden
+// and determinism tests).
+type Unified struct {
+	q *uarch.IQ
+}
+
+// NewUnified wraps q in the baseline organization.
+func NewUnified(q *uarch.IQ) *Unified { return &Unified{q: q} }
+
+func (o *Unified) Kind() Kind           { return UnifiedAGE }
+func (o *Unified) Name() string         { return config.OrgUnifiedAGE }
+func (o *Unified) Queue() *uarch.IQ     { return o.q }
+func (o *Unified) Insert(u *uarch.Uop)  { o.q.Insert(u) }
+func (o *Unified) Remove(u *uarch.Uop)  { o.q.Remove(u) }
+func (o *Unified) Wake(u *uarch.Uop)    { o.q.Wake(u) }
+func (o *Unified) Census() uarch.Census { return o.q.Census() }
+func (o *Unified) CanAccept(int) bool   { return true }
+func (o *Unified) EndCycle(uint64)      {}
+
+func (o *Unified) Select(sched uarch.Scheduler) []*uarch.Uop {
+	return o.q.ReadyCandidates(sched)
+}

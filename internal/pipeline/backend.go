@@ -38,6 +38,12 @@ func (p *Processor) dispatch(now uint64) {
 				// thread can dispatch.
 				return
 			}
+			if !p.org.CanAccept(t.id) {
+				// Organization-level admission: a partitioned queue's
+				// per-thread watermark, or a circular-mode queue's
+				// reduced usable capacity.
+				break
+			}
 			// Peek readiness for the waiting-cap check before
 			// committing to dispatch.
 			if p.dec.WaitingCap >= 0 && p.iq.Census().Waiting >= p.dec.WaitingCap && p.wouldWait(t, u) {
@@ -130,7 +136,7 @@ func (p *Processor) iqDrain(u *uarch.Uop) {
 // the LSQ's memory-dependence discipline and access the cache hierarchy;
 // L2 misses are recorded and may request a FLUSH.
 func (p *Processor) issue(now uint64) {
-	cands := p.iq.ReadyCandidates(p.sched)
+	cands := p.org.Select(p.sched)
 	issued := 0
 	for _, u := range cands {
 		if issued >= p.cfg.IssueWidth {
@@ -172,6 +178,11 @@ func (p *Processor) issue(now uint64) {
 			}
 			p.iqDrain(u)
 			u.CompleteAt = now + uint64(u.Kind().Latency())
+		}
+		if p.protWake != 0 {
+			// Protection logic in the result-broadcast path (ECC
+			// correction) delays every wakeup.
+			u.CompleteAt += p.protWake
 		}
 		u.Stage = uarch.StageIssued
 		u.IssuedAt = now

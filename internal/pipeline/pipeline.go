@@ -19,6 +19,7 @@ import (
 	"visasim/internal/cache"
 	"visasim/internal/config"
 	"visasim/internal/decision"
+	"visasim/internal/iqorg"
 	"visasim/internal/program"
 	"visasim/internal/stats"
 	"visasim/internal/trace"
@@ -80,6 +81,15 @@ type Processor struct {
 	n       int
 	threads []*thread
 
+	// org is the issue queue's policy layer (admission, candidate
+	// selection, mode bookkeeping); iq is its storage layer, shared by
+	// every organization. Storage operations — Insert, Remove, Wake,
+	// Census, occupancy reads, slot walks, invariant checks, fault
+	// injection — go straight to iq: every organization forwards them
+	// unchanged, so the indirection would buy nothing and the issue
+	// hot path stays devirtualized. Only the policy decisions
+	// (CanAccept, Select, EndCycle) dispatch through org.
+	org   iqorg.Organization
 	iq    *uarch.IQ
 	fus   *uarch.FUPools
 	mem   *cache.Hierarchy
@@ -88,6 +98,14 @@ type Processor struct {
 	pol   *policyState
 	ctrl  Controller
 	dec   Decision
+
+	// Issue-queue protection: reported IQ AVF scales by protScale
+	// (1 - mitigation) and every result broadcast pays protWake extra
+	// cycles (see iqorg.ProtCost). protScale is 1 and protWake 0 for the
+	// unprotected default, leaving the hot path untouched.
+	prot      iqorg.Protection
+	protScale float64
+	protWake  uint64
 
 	// Decision tracing and forced replay (see decisions.go). decForced
 	// flags that this cycle's decision carries schedule overrides.
@@ -192,6 +210,7 @@ type Processor struct {
 
 // New builds a processor. The thread count is len(p.Streams).
 func New(p Params) (*Processor, error) {
+	p.Machine = p.Machine.Canonical()
 	if err := p.Machine.Validate(); err != nil {
 		return nil, err
 	}
@@ -206,25 +225,37 @@ func New(p Params) (*Processor, error) {
 		p.MaxCycles = 64 * p.MaxInstructions
 	}
 	m := p.Machine
+	org, err := iqorg.New(m)
+	if err != nil {
+		return nil, err
+	}
+	prot, err := iqorg.ParseProtection(m.IQProtection)
+	if err != nil {
+		return nil, err
+	}
 	proc := &Processor{
-		cfg:    m,
-		n:      n,
-		iq:     uarch.NewIQ(m.IQSize),
-		fus:    uarch.NewFUPools(m.FUCount()),
-		mem:    cache.NewHierarchy(m),
-		bp:     branch.New(m.Branch, n),
-		sched:  p.Scheduler,
-		pol:    newPolicyState(p.Policy),
-		ctrl:   p.Controller,
-		dec:    NoDecision(),
-		sink:   p.Decisions,
-		forced: p.Forced,
-		iqTrue: avf.NewAccumulator(m.IQSize, avf.IQEntryBits),
-		iqTag:  avf.NewAccumulator(m.IQSize, avf.IQEntryBits),
-		robAcc: avf.NewAccumulator(n*m.ROBSize, avf.ROBEntryBits),
-		robTag: avf.NewAccumulator(n*m.ROBSize, avf.ROBEntryBits),
-		rfAcc:  avf.NewSpanAccumulator(n*64, avf.RegBits),
-		rqHist: stats.NewRQHistogram(m.IQSize),
+		cfg:       m,
+		n:         n,
+		org:       org,
+		iq:        org.Queue(),
+		prot:      prot,
+		protScale: prot.AVFScale(),
+		protWake:  uint64(prot.Cost().WakeupLatency),
+		fus:       uarch.NewFUPools(m.FUCount()),
+		mem:       cache.NewHierarchy(m),
+		bp:        branch.New(m.Branch, n),
+		sched:     p.Scheduler,
+		pol:       newPolicyState(p.Policy),
+		ctrl:      p.Controller,
+		dec:       NoDecision(),
+		sink:      p.Decisions,
+		forced:    p.Forced,
+		iqTrue:    avf.NewAccumulator(m.IQSize, avf.IQEntryBits),
+		iqTag:     avf.NewAccumulator(m.IQSize, avf.IQEntryBits),
+		robAcc:    avf.NewAccumulator(n*m.ROBSize, avf.ROBEntryBits),
+		robTag:    avf.NewAccumulator(n*m.ROBSize, avf.ROBEntryBits),
+		rfAcc:     avf.NewSpanAccumulator(n*64, avf.RegBits),
+		rqHist:    stats.NewRQHistogram(m.IQSize),
 	}
 	for i := 0; i < n; i++ {
 		proc.threads = append(proc.threads, &thread{
@@ -387,6 +418,7 @@ func (p *Processor) Step() {
 	p.processFlushes(now)
 	p.dispatch(now)
 	p.fetch(now)
+	p.org.EndCycle(now)
 	p.account(now)
 	p.cycle++
 }
@@ -397,8 +429,21 @@ func (p *Processor) Cycle() uint64 { return p.cycle }
 // TotalCommits returns the committed instruction count.
 func (p *Processor) TotalCommits() uint64 { return p.totalCommits }
 
-// IQ exposes the issue queue (tests and diagnostics).
+// IQ exposes the issue queue's storage layer (tests, diagnostics and fault
+// injection); identical for every organization.
 func (p *Processor) IQ() *uarch.IQ { return p.iq }
+
+// Organization exposes the issue queue's policy layer.
+func (p *Processor) Organization() iqorg.Organization { return p.org }
+
+// protAVF applies the protection mode's AVF mitigation to a reported
+// issue-queue AVF. The unprotected default is exactly the identity.
+func (p *Processor) protAVF(v float64) float64 {
+	if p.protScale != 1 {
+		return v * p.protScale
+	}
+	return v
+}
 
 // Memory exposes the cache hierarchy (tests and diagnostics).
 func (p *Processor) Memory() *cache.Hierarchy { return p.mem }
@@ -410,21 +455,23 @@ func (p *Processor) view(now uint64) View {
 	p.iqTag.SettleTo(now)
 	p.robTag.SettleTo(now)
 	v := View{
-		Cycle:                  now,
-		NumThreads:             p.n,
-		IQSize:                 p.iq.Size(),
-		IQLen:                  p.iq.Len(),
-		ReadyLen:               p.census.Ready,
-		WaitingLen:             p.census.Waiting,
-		ReadyACETag:            p.census.ReadyACETag,
-		IntervalIndex:          len(p.intervals),
-		PrevIPC:                p.prevIPC,
-		PrevMeanReadyLen:       p.prevMeanRQL,
-		PrevL2Misses:           p.prevL2,
-		SampleIndex:            p.sampleIdx,
-		SampleAVFTag:           p.lastSampleAVF,
-		SampleROBAVFTag:        p.lastSampleROBAVF,
-		IntervalAVFTagSoFar:    p.iqTag.AVFSince(p.ivStartTag, p.ivStartCycle),
+		Cycle:            now,
+		NumThreads:       p.n,
+		IQSize:           p.iq.Size(),
+		IQLen:            p.iq.Len(),
+		ReadyLen:         p.census.Ready,
+		WaitingLen:       p.census.Waiting,
+		ReadyACETag:      p.census.ReadyACETag,
+		IntervalIndex:    len(p.intervals),
+		PrevIPC:          p.prevIPC,
+		PrevMeanReadyLen: p.prevMeanRQL,
+		PrevL2Misses:     p.prevL2,
+		SampleIndex:      p.sampleIdx,
+		SampleAVFTag:     p.lastSampleAVF,
+		SampleROBAVFTag:  p.lastSampleROBAVF,
+		// Controllers see the residual (post-mitigation) IQ vulnerability:
+		// a protected queue needs less DVM throttling for the same target.
+		IntervalAVFTagSoFar:    p.protAVF(p.iqTag.AVFSince(p.ivStartTag, p.ivStartCycle)),
 		IntervalROBAVFTagSoFar: p.robTag.AVFSince(p.ivStartROBTag, p.ivStartCycle),
 	}
 	for i, t := range p.threads {
@@ -446,7 +493,7 @@ func (p *Processor) account(now uint64) {
 	if done%p.sampleCycles == 0 {
 		p.iqTag.SettleTo(done)
 		p.robTag.SettleTo(done)
-		p.lastSampleAVF = p.iqTag.AVFSince(p.sampStartTag, p.sampStartCycles)
+		p.lastSampleAVF = p.protAVF(p.iqTag.AVFSince(p.sampStartTag, p.sampStartCycles))
 		p.lastSampleROBAVF = p.robTag.AVFSince(p.sampStartROBTag, p.sampStartCycles)
 		p.sampStartTag = p.iqTag.Sum()
 		p.sampStartROBTag = p.robTag.Sum()
@@ -497,8 +544,8 @@ func (p *Processor) closeInterval() {
 		IPC:            float64(commits) / float64(cycles),
 		AvgReadyLen:    float64(p.ivReadySum) / float64(cycles),
 		L2Misses:       p.mem.L2MissCount - p.ivStartL2,
-		IQAVF:          p.iqTrue.AVFSince(p.ivStartTrue, p.ivStartCycle),
-		IQAVFTagged:    p.iqTag.AVFSince(p.ivStartTag, p.ivStartCycle),
+		IQAVF:          p.protAVF(p.iqTrue.AVFSince(p.ivStartTrue, p.ivStartCycle)),
+		IQAVFTagged:    p.protAVF(p.iqTag.AVFSince(p.ivStartTag, p.ivStartCycle)),
 		ROBAVF:         p.robAcc.AVFSince(p.ivStartROB, p.ivStartCycle),
 		MeanIQOcc:      float64(p.occSum-p.ivStartOcc) / float64(cycles),
 		PolicySwitches: p.policySwitches - p.ivStartSwitches,

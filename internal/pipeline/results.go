@@ -133,8 +133,11 @@ func (p *Processor) results() *Results {
 		NumThreads: p.n,
 		Commits:    make([]uint64, p.n),
 
-		IQAVF:        p.iqTrue.AVF(),
-		IQAVFTagged:  p.iqTag.AVF(),
+		// Whole-run IQ AVFs report the residual vulnerability after the
+		// protection mode's mitigation (identity for the unprotected
+		// default); interval AVFs were scaled the same way at close.
+		IQAVF:        p.protAVF(p.iqTrue.AVF()),
+		IQAVFTagged:  p.protAVF(p.iqTag.AVF()),
 		ROBAVF:       p.robAcc.AVF(),
 		ROBAVFTagged: p.robTag.AVF(),
 		RFAVF:        p.rfAcc.AVF(),

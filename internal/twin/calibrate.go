@@ -9,6 +9,7 @@ import (
 
 	"visasim/internal/core"
 	"visasim/internal/harness"
+	"visasim/internal/iqorg"
 	"visasim/internal/pipeline"
 	"visasim/internal/workload"
 )
@@ -158,6 +159,28 @@ func PinnedSample() []CalCell {
 		}
 	}
 
+	// Issue-queue organization factors on the base scheme, every mix —
+	// same whole-category coverage rationale as the scheme rows.
+	for _, org := range []iqorg.Kind{iqorg.SWQUE, iqorg.Partitioned} {
+		for _, mix := range mixNames() {
+			in := base(mix, 4)
+			in.Org = org
+			add(fmt.Sprintf("org/%v/%s", org, mix), in)
+		}
+	}
+
+	// Protection-mode residual factors. Parity and partial replication sit
+	// off the timing paths (the analytic mitigation already covers them, so
+	// their residuals fit near identity); ECC's wakeup-cycle IPC tax is
+	// what these rows exist to learn.
+	for _, prot := range []iqorg.Protection{iqorg.Parity, iqorg.ECC, iqorg.PartialReplication} {
+		for _, mix := range policyMixes {
+			in := base(mix, 4)
+			in.Prot = prot
+			add(fmt.Sprintf("prot/%v/%s", prot, mix), in)
+		}
+	}
+
 	// Composed cells: multiplicative factors under test, never used for
 	// fitting. These are the honest rows of the calibration report.
 	composed := []struct {
@@ -172,6 +195,10 @@ func PinnedSample() []CalCell {
 		{"opt2+fuhalf/CPU-B", func(in *Input) { in.Scheme = core.SchemeVISAOpt2; in.FU = halfFU }},
 		{"visa+t2/MEM-C", func(in *Input) { in.Scheme = core.SchemeVISA; in.Threads = 2 }},
 		{"dvm0.4+pdg/MEM-A", func(in *Input) { in.Scheme = core.SchemeDVM; in.DVMFrac = 0.4; in.Policy = pipeline.PolicyPDG }},
+		{"partitioned+visa/MIX-A", func(in *Input) { in.Org = iqorg.Partitioned; in.Scheme = core.SchemeVISA }},
+		{"swque+parity/CPU-A", func(in *Input) { in.Org = iqorg.SWQUE; in.Prot = iqorg.Parity }},
+		{"ecc+iq64/MEM-A", func(in *Input) { in.Prot = iqorg.ECC; in.IQSize = 64 }},
+		{"partitioned+prepl/MEM-B", func(in *Input) { in.Org = iqorg.Partitioned; in.Prot = iqorg.PartialReplication }},
 	}
 	for _, c := range composed {
 		mix := c.key[strings.LastIndexByte(c.key, '/')+1:]

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"visasim/internal/core"
+	"visasim/internal/iqorg"
 	"visasim/internal/pipeline"
 	"visasim/internal/workload"
 )
@@ -29,7 +30,7 @@ import (
 // model byte-identically.
 func Fit(sample []CalCell, observed map[string]Observed) (*Model, error) {
 	m := &Model{
-		Version: 1,
+		Version: modelVersion,
 		Budget:  PinnedBudget,
 		RefIQ:   refIQSize,
 		RefFU:   RefFU(),
@@ -48,6 +49,8 @@ func Fit(sample []CalCell, observed map[string]Observed) (*Model, error) {
 	}
 	m.SchemeF = identityFactors(core.NumSchemes)
 	m.PolicyF = identityFactors(pipeline.NumPolicies)
+	m.OrgF = identityFactors(int(iqorg.NumKinds))
+	m.ProtF = identityFactors(iqorg.NumProtections)
 
 	// Group the sample by key family.
 	groups := map[string][]CalCell{}
@@ -115,6 +118,15 @@ func Fit(sample []CalCell, observed map[string]Observed) (*Model, error) {
 		return nil, err
 	}
 	if err := fitFactors(m, groups["scheme"], observed, func(in *Input) int { return int(in.Scheme) }, m.SchemeF); err != nil {
+		return nil, err
+	}
+	if err := fitFactors(m, groups["org"], observed, func(in *Input) int { return int(in.Org) }, m.OrgF); err != nil {
+		return nil, err
+	}
+	// Protection rows fit against predictions that already apply the
+	// analytic mitigation, so they converge near identity except where the
+	// cost table is silent (ECC's wakeup-cycle IPC tax).
+	if err := fitFactors(m, groups["prot"], observed, func(in *Input) int { return int(in.Prot) }, m.ProtF); err != nil {
 		return nil, err
 	}
 

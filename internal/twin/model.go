@@ -11,7 +11,10 @@ import (
 // modelVersion guards the serialised form; bump on any change to the
 // model equations or the Model layout, and refit (go test ./internal/twin
 // -run TestGoldenCalibration -update).
-const modelVersion = 1
+//
+// v2 added the issue-queue organization and protection axes (OrgF/ProtF
+// factor rows, analytic mitigation and protection area in Evaluate).
+const modelVersion = 2
 
 //go:embed model.json
 var embeddedModel []byte

@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"visasim/internal/core"
+	"visasim/internal/iqorg"
 	"visasim/internal/isa"
 	"visasim/internal/pipeline"
 	"visasim/internal/workload"
@@ -63,6 +64,12 @@ type Input struct {
 	DVMFrac float64
 	// FU is the function-unit pool mix, indexed by isa.FUClass.
 	FU [5]int
+
+	// Org selects the issue-queue organization and Prot its protection
+	// mode. The zero values — unified AGE, unprotected — are the Table 2
+	// machine, so inputs predating these axes keep their meaning.
+	Org  iqorg.Kind
+	Prot iqorg.Protection
 }
 
 // Prediction is the twin's estimate for one Input.
@@ -179,6 +186,15 @@ type Model struct {
 	SchemeF [][]Factors
 	PolicyF [][]Factors
 
+	// OrgF are the issue-queue organization factors, indexed
+	// [iqorg.Kind][category]; the unified-AGE row is identity. ProtF are
+	// the protection-mode *residual* factors, [iqorg.Protection][category]:
+	// the mitigation itself is applied analytically from the iqorg cost
+	// table, so these carry only what the table cannot — chiefly ECC's
+	// wakeup-tax IPC cost.
+	OrgF  [][]Factors
+	ProtF [][]Factors
+
 	IQ  IQCoeffs
 	FU  FUCoeffs
 	DVM DVMCoeffs
@@ -199,6 +215,10 @@ func (m *Model) Valid(in *Input) error {
 		return fmt.Errorf("twin: scheme %v is outside the twin's scope (see DESIGN.md §11)", in.Scheme)
 	case int(in.Policy) >= len(m.PolicyF):
 		return fmt.Errorf("twin: policy %v outside model", in.Policy)
+	case int(in.Org) >= len(m.OrgF):
+		return fmt.Errorf("twin: IQ organization %v outside model", in.Org)
+	case int(in.Prot) >= len(m.ProtF):
+		return fmt.Errorf("twin: IQ protection %v outside model", in.Prot)
 	case in.IQSize < 8:
 		return fmt.Errorf("twin: IQ size %d below the modelled minimum 8", in.IQSize)
 	case in.Scheme == core.SchemeDVM && (in.DVMFrac <= 0 || in.DVMFrac > 1):
@@ -309,10 +329,29 @@ func (m *Model) Evaluate(in *Input, out *Prediction) {
 	occ *= sf.Occ
 	rob *= sf.ROB
 
+	// Issue-queue organization and protection residuals, fitted like the
+	// scheme rows. Protection's mitigation is then analytic — straight from
+	// the iqorg cost table — applied to IQ AVF only, *before* the DVM clamp
+	// below, because the simulator's controller also throttles on the
+	// residual (post-mitigation) vulnerability.
+	of := &m.OrgF[in.Org][cat]
+	ipc *= of.IPC
+	dens *= of.Dens
+	occ *= of.Occ
+	rob *= of.ROB
+	pr := &m.ProtF[in.Prot][cat]
+	ipc *= pr.IPC
+	dens *= pr.Dens
+	occ *= pr.Occ
+	rob *= pr.ROB
+
 	if occ > size {
 		occ = size
 	}
 	iqavf := dens * occ / size
+	if s := in.Prot.AVFScale(); s != 1 {
+		iqavf *= s
+	}
 
 	out.DVMTarget = 0
 	if in.Scheme == core.SchemeDVM {
@@ -344,7 +383,7 @@ func (m *Model) Evaluate(in *Input, out *Prediction) {
 	out.IQOcc = occ
 	out.IQAVF = iqavf
 	out.ROBAVF = rob
-	out.Area = AreaProxy(in.IQSize, in.Threads, &in.FU)
+	out.Area = AreaProxy(in.IQSize, in.Threads, &in.FU) + in.Prot.AreaCost(in.IQSize)
 }
 
 // AreaProxy is the relative silicon cost the explorer trades against IPC
@@ -392,6 +431,8 @@ func (in *Input) ConfigWith(budget uint64, dvmTarget float64) (core.Config, erro
 	}
 	mix := mixes[in.Mix]
 	mach := configForFU(in.IQSize, &in.FU)
+	mach.IQOrg = in.Org.String()
+	mach.IQProtection = in.Prot.String()
 	cfg := core.Config{
 		Machine:         &mach,
 		Benchmarks:      append([]string(nil), mix.Benchmarks[:in.Threads]...),

@@ -71,4 +71,19 @@ VERIFIED=$(grep -c '"Key": "explore/' "$TMP/local.json" || true)
 grep -q '"Frontier": \[' "$TMP/local.json" || {
     echo "explore-smoke: report has no frontier"; exit 1; }
 
-echo "explore-smoke: OK ($SAMPLES screened, $VERIFY verified; local, daemon and coordinator reports byte-identical)"
+# Non-default issue-queue axes: restrict the organization and protection
+# axes to a non-default point (partitioned + parity), screen a small
+# sample, and verify one frontier point through the daemon. Every frontier
+# row must carry the restricted axes, proving the org/prot plumbing holds
+# end to end (twin screen -> frontier -> simulator verification).
+"$TMP/experiments" -explore-samples 4000 -explore-seed "$SEED" -explore-verify 1 \
+    -explore-orgs partitioned -explore-prots parity \
+    -explore-json "$TMP/iqaxes.json" -server "http://$ADDR" explore >"$TMP/iqaxes.out"
+grep -q 'partitioned' "$TMP/iqaxes.out" && grep -q 'parity' "$TMP/iqaxes.out" || {
+    echo "explore-smoke: restricted org/prot axes missing from frontier table"
+    cat "$TMP/iqaxes.out"; exit 1; }
+IQVERIFIED=$(grep -c '"Key": "explore/' "$TMP/iqaxes.json" || true)
+[ "$IQVERIFIED" = "1" ] || {
+    echo "explore-smoke: expected 1 verified org/prot cell, found $IQVERIFIED"; exit 1; }
+
+echo "explore-smoke: OK ($SAMPLES screened, $VERIFY verified; local, daemon and coordinator reports byte-identical; non-default org/prot point verified)"

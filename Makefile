@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-cover cluster-test cluster-smoke obs-smoke explore-smoke docs-lint bench bench-throughput golden twin-golden experiments examples serve fmt vet staticcheck clean
+.PHONY: all build test test-short test-race test-cover cluster-test cluster-smoke obs-smoke explore-smoke perf-smoke docs-lint bench bench-throughput golden twin-golden experiments examples serve fmt vet staticcheck clean
 
 all: build test
 
@@ -69,10 +69,19 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Simulator-, twin- and scheduler-throughput benchmarks only; writes
-# machine-readable results to BENCH_pr8.json for regression tracking across
-# PRs (earlier PRs' records live in BENCH_pr1.json and BENCH_pr7.json).
+# machine-readable results to BENCH_pr10.json for regression tracking across
+# PRs (earlier PRs' records live in BENCH_pr1/7/8/9.json). The per-mix
+# simulator benches (CPU-A, MEM-A, MIX-A) and the batched sweep attribute
+# the event-driven core's wins per workload category.
 bench-throughput:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkFaultInjection|BenchmarkTwinScreen|BenchmarkDispatchScheduler|BenchmarkIQOrganizations' -benchmem -bench-json BENCH_pr9.json .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkBatchedSweep|BenchmarkFaultInjection|BenchmarkTwinScreen|BenchmarkDispatchScheduler|BenchmarkIQOrganizations' -benchmem -bench-json BENCH_pr10.json .
+
+# Throughput-floor gate: one baseline cell per workload category through the
+# harness, single worker, asserting every cell clears 354266 cycles/sec —
+# 2x the PR1 baseline (177133, see BENCH_pr1.json) — so a core-loop
+# performance regression fails the build rather than landing silently.
+perf-smoke:
+	$(GO) run ./cmd/experiments -n 200000 -workers 1 -bench-json /tmp/perf-smoke.json -bench-min 354266 bench
 
 # Regenerates testdata/golden from current simulator behaviour. Only run
 # after a deliberate modelling change; commit the diff with an explanation.

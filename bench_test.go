@@ -22,6 +22,7 @@ import (
 	"visasim/internal/core"
 	"visasim/internal/experiments"
 	"visasim/internal/explore"
+	"visasim/internal/harness"
 	"visasim/internal/inject"
 	"visasim/internal/iqorg"
 	"visasim/internal/isa"
@@ -199,13 +200,21 @@ func BenchmarkFaultInjection(b *testing.B) {
 // screened configurations, so InstrsPerSec is configs/sec.
 var benchJSONPath = flag.String("bench-json", "", "write throughput benchmark records to this JSON file")
 
-// benchRecord is one benchmark's machine-readable result.
+// benchRecord is one benchmark's machine-readable result. Cycle-rate
+// fields carry omitempty: instruction-only benchmarks (dispatch
+// scheduling, fault-injection screening) have no simulated-cycle notion,
+// and a literal `"CyclesPerSec": 0` in the JSON reads as a catastrophic
+// regression rather than "not measured".
 type benchRecord struct {
-	Cycles       uint64  // simulated cycles across all iterations
+	Cycles       uint64  `json:",omitempty"` // simulated cycles across all iterations
 	Instructions uint64  // committed instructions across all iterations
 	Seconds      float64 // wall-clock spent simulating
-	CyclesPerSec float64
+	CyclesPerSec float64 `json:",omitempty"`
 	InstrsPerSec float64
+	// SkippedCycles counts cycles advanced by dead-cycle skip-ahead
+	// (included in Cycles); simulation benchmarks report it so the
+	// skip-ahead contribution stays attributable across PRs.
+	SkippedCycles uint64 `json:",omitempty"`
 }
 
 var (
@@ -214,8 +223,10 @@ var (
 )
 
 // recordBench stores a benchmark record and rewrites the JSON file (maps
-// marshal with sorted keys, so the output is stable).
-func recordBench(b *testing.B, name string, cycles, instrs uint64, elapsed time.Duration) {
+// marshal with sorted keys, so the output is stable). Pass cycles 0 for
+// instruction-only benchmarks; the zero-valued cycle-rate fields are then
+// omitted from the JSON. The optional trailing count is skipped cycles.
+func recordBench(b *testing.B, name string, cycles, instrs uint64, elapsed time.Duration, skipped ...uint64) {
 	b.Helper()
 	if *benchJSONPath == "" || elapsed <= 0 {
 		return
@@ -224,8 +235,13 @@ func recordBench(b *testing.B, name string, cycles, instrs uint64, elapsed time.
 		Cycles:       cycles,
 		Instructions: instrs,
 		Seconds:      elapsed.Seconds(),
-		CyclesPerSec: float64(cycles) / elapsed.Seconds(),
 		InstrsPerSec: float64(instrs) / elapsed.Seconds(),
+	}
+	if cycles > 0 {
+		rec.CyclesPerSec = float64(cycles) / elapsed.Seconds()
+	}
+	for _, s := range skipped {
+		rec.SkippedCycles += s
 	}
 	benchRecMu.Lock()
 	defer benchRecMu.Unlock()
@@ -239,27 +255,100 @@ func recordBench(b *testing.B, name string, cycles, instrs uint64, elapsed time.
 	}
 }
 
-// BenchmarkSimulatorThroughput measures simulated cycles per second on the
-// CPU group A workload: the figure that bounds every experiment's cost.
-func BenchmarkSimulatorThroughput(b *testing.B) {
-	var cycles, instrs uint64
+// benchSimThroughput runs one full-pipeline throughput benchmark on the
+// given workload mix and records it under recName. Skipped cycles are
+// reported separately so the dead-cycle skip-ahead contribution stays
+// attributable across PRs (skipped cycles cost ~nothing; the cycles/sec
+// headline includes them because they are simulated time the experiments
+// would otherwise have to step through).
+func benchSimThroughput(b *testing.B, names []string, recName string) {
+	var cycles, instrs, skipped uint64
 	var simTime time.Duration
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		proc := newBenchProcessor(b, workload.Mixes()[0].Benchmarks[:])
+		proc := newBenchProcessor(b, names)
 		b.StartTimer()
 		t0 := time.Now()
 		res := proc.Run()
 		simTime += time.Since(t0)
 		cycles += res.Cycles
 		instrs += res.TotalCommits()
+		skipped += res.SkippedCycles
 		b.ReportMetric(float64(res.Cycles), "cycles/op")
 		b.ReportMetric(float64(res.TotalCommits()), "instrs/op")
 	}
 	if simTime > 0 {
 		b.ReportMetric(float64(cycles)/simTime.Seconds(), "cycles/sec")
 	}
-	recordBench(b, "SimulatorThroughput", cycles, instrs, simTime)
+	if cycles > 0 {
+		b.ReportMetric(100*float64(skipped)/float64(cycles), "skipped-%")
+	}
+	recordBench(b, recName, cycles, instrs, simTime, skipped)
+}
+
+// BenchmarkSimulatorThroughput measures simulated cycles per second on the
+// CPU group A workload: the figure that bounds every experiment's cost.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	benchSimThroughput(b, workload.Mixes()[0].Benchmarks[:], "SimulatorThroughput")
+}
+
+// BenchmarkSimulatorThroughputMEM is the memory-bound counterpart (MEM
+// group A): long L2-miss stalls make dead-cycle skip-ahead and the cached
+// load-block disposition dominant here, so this record attributes those
+// wins separately from the SoA and batching wins visible on the CPU-bound
+// mix.
+func BenchmarkSimulatorThroughputMEM(b *testing.B) {
+	benchSimThroughput(b, workload.MixesIn(workload.CatMEM)[0].Benchmarks[:], "SimulatorThroughputMEM")
+}
+
+// BenchmarkSimulatorThroughputMIX covers the third standard mix category
+// (MIX group A, CPU+MEM blend).
+func BenchmarkSimulatorThroughputMIX(b *testing.B) {
+	benchSimThroughput(b, workload.MixesIn(workload.CatMIX)[0].Benchmarks[:], "SimulatorThroughputMIX")
+}
+
+// BenchmarkBatchedSweep measures sweep throughput through the harness — the
+// batched-cell path where workers reuse per-worker uop pools and all cells
+// share the tagged-program cache. One op = a six-cell sweep spanning the
+// CPU/MIX/MEM group-A mixes under both schedulers. Cycles/sec here is
+// aggregate across workers (it scales with GOMAXPROCS), so compare it
+// against itself across PRs, not against the single-core records above.
+func BenchmarkBatchedSweep(b *testing.B) {
+	mixes := workload.Mixes()
+	var cells []harness.Cell
+	for _, mi := range []int{0, 3, 6} { // CPU-A, MIX-A, MEM-A
+		for _, s := range []core.Scheme{core.SchemeBase, core.SchemeVISA} {
+			cells = append(cells, harness.Cell{
+				Key: mixes[mi].Name + "/" + s.String(),
+				Cfg: core.Config{
+					Benchmarks:      mixes[mi].Benchmarks[:],
+					Scheme:          s,
+					Policy:          pipeline.PolicyICOUNT,
+					MaxInstructions: benchBudget / 4,
+				},
+			})
+		}
+	}
+	var cycles, instrs, skipped uint64
+	var simTime time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		res, err := harness.Run(cells, harness.Options{})
+		simTime += time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			cycles += r.Cycles
+			instrs += r.TotalCommits()
+			skipped += r.SkippedCycles
+		}
+	}
+	if simTime > 0 {
+		b.ReportMetric(float64(cycles)/simTime.Seconds(), "cycles/sec")
+	}
+	recordBench(b, "BatchedSweep", cycles, instrs, simTime, skipped)
 }
 
 // BenchmarkTwinScreen measures the analytical twin's screening throughput
@@ -409,7 +498,7 @@ func iqOrgPass(org iqorg.Organization, q *uarch.IQ, pool []*uarch.Uop, age uint6
 		}
 	}
 	for q.Len() > 0 {
-		var sel []*uarch.Uop
+		var sel []int32
 		if org != nil {
 			sel = org.Select(uarch.SchedOldestFirst)
 		} else {
@@ -422,8 +511,8 @@ func iqOrgPass(org iqorg.Organization, q *uarch.IQ, pool []*uarch.Uop, age uint6
 		if len(sel) > issueWidth {
 			sel = sel[:issueWidth]
 		}
-		for _, u := range sel {
-			q.Remove(u)
+		for _, slot := range sel {
+			q.Remove(q.At(int(slot)))
 			ops++
 		}
 		if org != nil {

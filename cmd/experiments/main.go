@@ -7,7 +7,8 @@
 //
 // Targets: fig1 fig2 fig5 fig6 fig8 fig9 fig10 table1 table2 table3 all
 // (default: all), plus `bench`, which measures simulator throughput and
-// writes machine-readable records (see -bench-json, -cpuprofile), and
+// writes machine-readable records (see -bench-json, -cpuprofile, and
+// -bench-min, which turns the run into a CI throughput-floor gate), and
 // `explore`, which screens the design space through the analytical twin
 // (internal/twin) and verifies the Pareto frontier through the simulator
 // (see -explore-samples, -explore-seed, -explore-verify, -explore-json and
@@ -57,6 +58,7 @@ func main() {
 		workers       = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		csvDir        = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 		benchJSON     = flag.String("bench-json", "BENCH_pr1.json", "where the bench target writes throughput records")
+		benchMin      = flag.Float64("bench-min", 0, "bench target: exit nonzero if any cell's cycles/sec falls below this floor (0 disables)")
 		cpuProf       = flag.String("cpuprofile", "", "write a pprof CPU profile of the bench target to this file")
 		serverURL     = flag.String("server", "", "run sweeps through a visasimd daemon at this base URL (e.g. http://localhost:8080)")
 		serverTimeout = flag.Duration("server-timeout", time.Hour, "per-sweep deadline when using -server (0 disables)")
@@ -163,7 +165,7 @@ func main() {
 	for _, tgt := range targets {
 		start := time.Now()
 		if tgt == "bench" {
-			out, err := runBench(p, *benchJSON, *cpuProf)
+			out, err := runBench(p, *benchJSON, *cpuProf, *benchMin)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
 				os.Exit(1)
@@ -339,7 +341,15 @@ func run(target string, p experiments.Params) (string, csvWriter, error) {
 // numbers include everything an experiment pays for. Records are written to
 // jsonPath in the same schema as `make bench-throughput` (BENCH_pr1.json),
 // keyed "throughput/<mix>", plus a "total" row covering the whole batch.
-func runBench(p experiments.Params, jsonPath, cpuProfile string) (string, error) {
+//
+// A nonzero minCPS is a throughput floor on the batch's core-loop rate
+// (the total row's SimCyclesPerSec — pipeline run time alone, excluding the
+// one-time ACE profiling pass and workload synthesis, matching what the
+// go-test BenchmarkSimulatorThroughput measures): if the batch falls below
+// it, runBench returns an error so CI fails the build on a performance
+// regression. Sim seconds accumulate per worker, so the figure is per-core
+// whatever the worker count; the error lists per-cell rates for triage.
+func runBench(p experiments.Params, jsonPath, cpuProfile string, minCPS float64) (string, error) {
 	var cells []harness.Cell
 	for _, name := range []string{"CPU-A", "MIX-A", "MEM-A"} {
 		for _, m := range workload.Mixes() {
@@ -371,14 +381,31 @@ func runBench(p experiments.Params, jsonPath, cpuProfile string) (string, error)
 	for _, st := range stats {
 		total.Cycles += st.Cycles
 		total.Instructions += st.Instructions
+		total.SimSeconds += st.SimSeconds
 	}
 	if wall > 0 {
 		total.CyclesPerSec = float64(total.Cycles) / wall
 		total.InstrsPerSec = float64(total.Instructions) / wall
 	}
+	// Total sim seconds accumulate per-worker CPU time, so the total row's
+	// sim rate stays a per-core figure whatever the worker count.
+	if total.SimSeconds > 0 {
+		total.SimCyclesPerSec = float64(total.Cycles) / total.SimSeconds
+	}
 	records := map[string]harness.CellStats{"total": total}
 	for k, st := range stats {
 		records[k] = st
+	}
+	if minCPS > 0 && total.SimCyclesPerSec < minCPS {
+		return "", fmt.Errorf("throughput floor %.0f sim cycles/sec not met: total %.0f (per-cell: %s)",
+			minCPS, total.SimCyclesPerSec, func() string {
+				var parts []string
+				for k, st := range stats {
+					parts = append(parts, fmt.Sprintf("%s %.0f", k, st.SimCyclesPerSec))
+				}
+				sort.Strings(parts)
+				return strings.Join(parts, ", ")
+			}())
 	}
 	blob, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
@@ -395,11 +422,11 @@ func runBench(p experiments.Params, jsonPath, cpuProfile string) (string, error)
 	sort.Strings(keys)
 	var b strings.Builder
 	fmt.Fprintf(&b, "Simulator throughput (budget %d, written to %s):\n", p.Budget, jsonPath)
-	fmt.Fprintf(&b, "%-20s %12s %12s %10s %14s\n", "cell", "cycles", "instrs", "seconds", "cycles/sec")
+	fmt.Fprintf(&b, "%-20s %12s %12s %10s %14s %14s\n", "cell", "cycles", "instrs", "seconds", "cycles/sec", "sim-cyc/sec")
 	for _, k := range keys {
 		st := records[k]
-		fmt.Fprintf(&b, "%-20s %12d %12d %10.3f %14.0f\n",
-			k, st.Cycles, st.Instructions, st.Seconds, st.CyclesPerSec)
+		fmt.Fprintf(&b, "%-20s %12d %12d %10.3f %14.0f %14.0f\n",
+			k, st.Cycles, st.Instructions, st.Seconds, st.CyclesPerSec, st.SimCyclesPerSec)
 	}
 	return b.String(), nil
 }

@@ -31,6 +31,10 @@ func determinismCells() []harness.Cell {
 		{Key: "visa", Cfg: core.Config{Benchmarks: cpuA, Scheme: core.SchemeVISA, Policy: pipeline.PolicyICOUNT, MaxInstructions: budget}},
 		{Key: "opt2", Cfg: core.Config{Benchmarks: memA, Scheme: core.SchemeVISAOpt2, Policy: pipeline.PolicyFLUSH, MaxInstructions: budget}},
 		{Key: "dvm", Cfg: core.Config{Benchmarks: memA, Scheme: core.SchemeDVM, Policy: pipeline.PolicyICOUNT, DVMTarget: 0.04, MaxInstructions: budget}},
+		// Controller-less memory-bound STALL cell: dead-cycle skip-ahead is
+		// live here, so the matrix also pins that skipping runs stay
+		// schedule-invariant and observation-neutral.
+		{Key: "stall", Cfg: core.Config{Benchmarks: memA, Scheme: core.SchemeBase, Policy: pipeline.PolicySTALL, MaxInstructions: budget}},
 	}
 }
 

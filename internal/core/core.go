@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"visasim/internal/ace"
 	"visasim/internal/alloc"
@@ -27,6 +28,7 @@ import (
 	"visasim/internal/decision"
 	"visasim/internal/dvm"
 	"visasim/internal/pipeline"
+	"visasim/internal/program"
 	"visasim/internal/trace"
 	"visasim/internal/uarch"
 	"visasim/internal/workload"
@@ -255,6 +257,54 @@ func ProfileFor(bench workload.Benchmark, n uint64, window int) (*ace.Profile, e
 	return e.p, e.err
 }
 
+// taggedProgEntry is a cached generated program with its profiled ACE tags
+// applied, plus the profile it was tagged from.
+type taggedProgEntry struct {
+	once sync.Once
+	prog *program.Program
+	prof *ace.Profile
+	err  error
+}
+
+var (
+	taggedMu    sync.Mutex
+	taggedCache = map[profileKey]*taggedProgEntry{}
+)
+
+// taggedProgramFor returns the (cached) generated program for bench with
+// the offline profile's ACE tags applied, and that profile. Program
+// generation and tag application are deterministic per key, executors never
+// mutate the program, and the address-space tag is applied per thread at
+// execution — so one tagged program safely serves every thread slot of
+// every cell in a sweep. Concurrent callers for the same key share one
+// generation pass.
+func taggedProgramFor(bench workload.Benchmark, n uint64, window int) (*program.Program, *ace.Profile, error) {
+	key := profileKey{bench.Name, n, window}
+	taggedMu.Lock()
+	e, ok := taggedCache[key]
+	if !ok {
+		e = &taggedProgEntry{}
+		taggedCache[key] = e
+	}
+	taggedMu.Unlock()
+
+	e.once.Do(func() {
+		prof, err := ProfileFor(bench, n, window)
+		if err != nil {
+			e.err = err
+			return
+		}
+		prog, err := bench.Generate()
+		if err != nil {
+			e.err = err
+			return
+		}
+		prof.Apply(prog)
+		e.prog, e.prof = prog, prof
+	})
+	return e.prog, e.prof, e.err
+}
+
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
 	res, _, err := RunTraced(cfg, RunOptions{})
@@ -285,15 +335,10 @@ func RunTraced(cfg Config, opt RunOptions) (*Result, *decision.Trace, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		prof, err := ProfileFor(b, profLen, c.ProfileWindow)
+		prog, prof, err := taggedProgramFor(b, profLen, c.ProfileWindow)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: profiling %s: %w", name, err)
 		}
-		prog, err := b.Generate()
-		if err != nil {
-			return nil, nil, err
-		}
-		prof.Apply(prog)
 		exec := trace.NewExecutor(prog, b.Params.Seed, i)
 		streams[i] = trace.NewStream(exec, prof.Bits)
 		aceFrac += prof.ACEFraction()
@@ -344,6 +389,8 @@ func RunTraced(cfg Config, opt RunOptions) (*Result, *decision.Trace, error) {
 		IntervalCycles:     c.IntervalCycles,
 		InvariantEvery:     c.InvariantEvery,
 		Forced:             opt.Forced,
+		DisableSkipAhead:   opt.DisableSkipAhead,
+		Pool:               opt.Pool,
 	}
 	// Only assign the sink when recording: a nil *Recorder stored in the
 	// interface would read as non-nil inside the pipeline.
@@ -356,7 +403,11 @@ func RunTraced(cfg Config, opt RunOptions) (*Result, *decision.Trace, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	t0 := time.Now()
 	res := proc.Run()
+	if opt.SimTime != nil {
+		*opt.SimTime = time.Since(t0)
+	}
 
 	out := &Result{
 		Results:              res,
@@ -410,6 +461,19 @@ type RunOptions struct {
 	Forced decision.Schedule
 	// CellKey labels the trace with the harness/sweep cell key.
 	CellKey string
+	// DisableSkipAhead forces cycle-by-cycle simulation (parity testing;
+	// see pipeline.Params.DisableSkipAhead). Results are identical either
+	// way, which is why it lives here and not in Config.
+	DisableSkipAhead bool
+	// Pool shares a uop free list across strictly sequential runs (a sweep
+	// worker's cells); nil gives the run a private pool. Result-neutral.
+	Pool *uarch.UopPool
+	// SimTime, when non-nil, receives the wall time of the pipeline run
+	// alone — excluding workload synthesis, ACE profiling and processor
+	// construction — so throughput benchmarks can report the core loop's
+	// rate separately from the cell's inclusive cost. Out-of-band on
+	// purpose: wall time is non-deterministic and must never enter Result.
+	SimTime *time.Duration
 }
 
 // controllerName names the runtime controller a scheme installs ("" when the

@@ -16,6 +16,7 @@ import (
 
 	"visasim/internal/core"
 	"visasim/internal/decision"
+	"visasim/internal/uarch"
 )
 
 // Cell is one simulation in a sweep.
@@ -35,13 +36,19 @@ type Traces map[string]*decision.Trace
 
 // CellStats records one cell's simulator cost: how long the simulation
 // took and how fast the simulated machine advanced. Seconds covers only
-// core.Run (workload generation, profiling and simulation), not queueing.
+// core.Run (workload generation, profiling and simulation), not queueing;
+// SimSeconds narrows further to the pipeline run alone, so the core loop's
+// rate (SimCyclesPerSec) is separable from one-time per-cell setup such as
+// the ACE profiling pass.
 type CellStats struct {
 	Seconds      float64
 	Cycles       uint64
 	Instructions uint64
 	CyclesPerSec float64
 	InstrsPerSec float64
+
+	SimSeconds      float64 `json:",omitempty"`
+	SimCyclesPerSec float64 `json:",omitempty"`
 
 	// Telemetry summarises the cell's per-stage simulator behaviour, so a
 	// hot cell is explainable from its cost record alone — without
@@ -192,6 +199,12 @@ func RunTraced(cells []Cell, opt Options) (Results, Stats, Traces, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One uop free list per worker, shared across its (strictly
+			// sequential) cells: steady-state allocation is paid once per
+			// worker instead of once per cell. Never shared across
+			// goroutines, and result-neutral by the pool's generation
+			// protocol.
+			pool := &uarch.UopPool{}
 			for c := range jobs {
 				mu.Lock()
 				stop := firstErr != nil
@@ -207,6 +220,7 @@ func RunTraced(cells []Cell, opt Options) (Results, Stats, Traces, error) {
 				var res *core.Result
 				var tr *decision.Trace
 				var err error
+				var simTime time.Duration
 				t0 := time.Now()
 				// Label the simulation goroutine so CPU profiles
 				// (harness-level or daemon-wide) attribute samples to the
@@ -216,6 +230,8 @@ func RunTraced(cells []Cell, opt Options) (Results, Stats, Traces, error) {
 					res, tr, err = core.RunTraced(c.Cfg, core.RunOptions{
 						TraceLevel: opt.TraceLevel,
 						CellKey:    c.Key,
+						Pool:       pool,
+						SimTime:    &simTime,
 					})
 				})
 				elapsed := time.Since(t0)
@@ -244,6 +260,10 @@ func RunTraced(cells []Cell, opt Options) (Results, Stats, Traces, error) {
 					if st.Seconds > 0 {
 						st.CyclesPerSec = float64(st.Cycles) / st.Seconds
 						st.InstrsPerSec = float64(st.Instructions) / st.Seconds
+					}
+					st.SimSeconds = simTime.Seconds()
+					if st.SimSeconds > 0 {
+						st.SimCyclesPerSec = float64(st.Cycles) / st.SimSeconds
 					}
 					stats[c.Key] = st
 				}

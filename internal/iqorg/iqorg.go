@@ -74,12 +74,18 @@ func Kinds() []Kind { return []Kind{UnifiedAGE, SWQUE, Partitioned} }
 //   - Insert/Remove/Wake/Census delegate to the queue and must preserve its
 //     semantics (Insert panics on a full queue — dispatch checks CanAccept
 //     and occupancy first).
-//   - Select returns the cycle's issue candidates in priority order; the
-//     returned slice is valid until the next Select call.
+//   - Select returns the cycle's issue candidates as IQ slot indices in
+//     priority order (resolve with Queue().At); the returned slice is valid
+//     until the next Select call.
 //   - CanAccept(thread) is the per-thread admission gate consulted by
 //     dispatch in addition to the shared-occupancy check.
 //   - EndCycle runs once per simulated cycle after issue and dispatch, and
 //     is where mode-switching organizations re-decide.
+//   - NextBoundary and EndCycleSpan let the pipeline's dead-cycle
+//     skip-ahead jump over runs of cycles in which the machine provably
+//     does nothing: NextBoundary bounds how far the clock may jump before
+//     EndCycle could change policy state, and EndCycleSpan applies the
+//     bookkeeping of the skipped cycles in one call.
 type Organization interface {
 	Kind() Kind
 	Name() string
@@ -103,9 +109,27 @@ type Organization interface {
 	// admission, issue candidate ordering, and per-cycle mode
 	// bookkeeping.
 	CanAccept(thread int) bool
-	Select(sched uarch.Scheduler) []*uarch.Uop
+	Select(sched uarch.Scheduler) []int32
 	EndCycle(now uint64)
+
+	// NextBoundary returns the first cycle ≥ now at which EndCycle may
+	// change the organization's externally visible policy state
+	// (admission or selection behaviour), or NoBoundary for stateless
+	// organizations. The pipeline's skip-ahead never jumps the clock
+	// past this cycle: the boundary cycle itself is always simulated,
+	// so EndCycle runs there exactly as in a cycle-by-cycle execution.
+	NextBoundary(now uint64) uint64
+	// EndCycleSpan replaces the per-cycle EndCycle calls for the skipped
+	// dead cycles [from, until). The caller guarantees the queue did not
+	// change during the span and until ≤ NextBoundary(from), so the
+	// organization can apply the span's bookkeeping (e.g. an occupancy
+	// high-water update against a constant occupancy) in O(1).
+	EndCycleSpan(from, until uint64)
 }
+
+// NoBoundary is NextBoundary's "never" answer: the organization's EndCycle
+// carries no policy state, so skip-ahead needs no cap on its account.
+const NoBoundary = ^uint64(0)
 
 // New builds the organization named by m.IQOrg over a fresh IQ of m.IQSize
 // entries. The machine is canonicalized first, so empty spellings and a zero

@@ -146,9 +146,10 @@ func TestUnifiedDelegates(t *testing.T) {
 	if len(cands) != 4 {
 		t.Fatalf("got %d candidates, want 4", len(cands))
 	}
-	for i, u := range cands {
-		if u.Age != uint64(i) {
-			t.Fatalf("candidates not age-ordered: %d at position %d", u.Age, i)
+	for i, slot := range cands {
+		u := o.Queue().At(int(slot))
+		if u == nil || u.Age != uint64(i) {
+			t.Fatalf("candidates not age-ordered at position %d: %+v", i, u)
 		}
 	}
 	if !o.CanAccept(0) || !o.CanAccept(7) {
@@ -181,8 +182,8 @@ func TestSWQUEModes(t *testing.T) {
 	// Circular mode ignores VISA's ACE-tag partitioning: candidates stay in
 	// pure age order even though tagged and untagged uops interleave.
 	cands := o.Select(uarch.SchedVISA)
-	for i, u := range cands {
-		if u.Age != uint64(i) {
+	for i, slot := range cands {
+		if u := o.Queue().At(int(slot)); u.Age != uint64(i) {
 			t.Fatalf("circular VISA select reordered: age %d at %d", u.Age, i)
 		}
 	}
@@ -195,7 +196,9 @@ func TestSWQUEModes(t *testing.T) {
 		t.Fatal("AGE mode admits up to full occupancy")
 	}
 	age := o.Select(uarch.SchedVISA)
-	if len(age) != 6 || !age[0].ACETag || age[len(age)-1].ACETag {
+	if len(age) != 6 ||
+		!o.Queue().At(int(age[0])).ACETag ||
+		o.Queue().At(int(age[len(age)-1])).ACETag {
 		t.Fatal("AGE mode must honour VISA partitioning (ACE-tagged first)")
 	}
 	// Drain and run a quiet window: back to circular.

@@ -45,7 +45,7 @@ func overheadPass(org Organization, q *uarch.IQ, pool []*uarch.Uop, age uint64) 
 	}
 	cycles := uint64(0)
 	for q.Len() > 0 {
-		var sel []*uarch.Uop
+		var sel []int32
 		if org != nil {
 			sel = org.Select(uarch.SchedOldestFirst)
 		} else {
@@ -54,8 +54,8 @@ func overheadPass(org Organization, q *uarch.IQ, pool []*uarch.Uop, age uint64) 
 		if len(sel) > issueWidth {
 			sel = sel[:issueWidth]
 		}
-		for _, u := range sel {
-			q.Remove(u)
+		for _, slot := range sel {
+			q.Remove(q.At(int(slot)))
 		}
 		if org != nil {
 			org.EndCycle(age + cycles)

@@ -38,6 +38,11 @@ func (o *PartitionedOrg) Wake(u *uarch.Uop)    { o.q.Wake(u) }
 func (o *PartitionedOrg) Census() uarch.Census { return o.q.Census() }
 func (o *PartitionedOrg) EndCycle(uint64)      {}
 
+// NextBoundary and EndCycleSpan: the watermark is static, so EndCycle
+// carries no state and skipped dead cycles need no bookkeeping.
+func (o *PartitionedOrg) NextBoundary(uint64) uint64 { return NoBoundary }
+func (o *PartitionedOrg) EndCycleSpan(_, _ uint64)   {}
+
 // Watermark returns the per-thread dispatch cap.
 func (o *PartitionedOrg) Watermark() int { return o.watermark }
 
@@ -48,6 +53,6 @@ func (o *PartitionedOrg) CanAccept(thread int) bool {
 
 // Select is age-ordered like the unified queue: SMTcheck's partitioning
 // governs allocation, not issue priority.
-func (o *PartitionedOrg) Select(sched uarch.Scheduler) []*uarch.Uop {
+func (o *PartitionedOrg) Select(sched uarch.Scheduler) []int32 {
 	return o.q.ReadyCandidates(sched)
 }

@@ -68,7 +68,7 @@ func (o *SWQUEOrg) CanAccept(int) bool {
 // Select returns age-ordered candidates. The circular mode cannot reorder,
 // so it ignores the VISA scheduler's ACE-tag partitioning and issues strictly
 // oldest-first.
-func (o *SWQUEOrg) Select(sched uarch.Scheduler) []*uarch.Uop {
+func (o *SWQUEOrg) Select(sched uarch.Scheduler) []int32 {
 	if o.circ {
 		return o.q.ReadyCandidates(uarch.SchedOldestFirst)
 	}
@@ -91,4 +91,24 @@ func (o *SWQUEOrg) EndCycle(now uint64) {
 		o.switches++
 	}
 	o.highWater = 0
+}
+
+// NextBoundary returns the next window-boundary cycle (the only cycle at
+// which EndCycle can switch modes). The pipeline's skip-ahead never jumps
+// past it, so the boundary's EndCycle always runs cycle-exactly.
+func (o *SWQUEOrg) NextBoundary(now uint64) uint64 {
+	return now - now%swqueWindow + swqueWindow - 1
+}
+
+// EndCycleSpan folds [from, until) dead cycles into the window bookkeeping:
+// the occupancy is constant across a skipped span and the span never
+// crosses a window boundary (the caller caps at NextBoundary), so the only
+// effect of the elided EndCycle calls is a single high-water update.
+func (o *SWQUEOrg) EndCycleSpan(from, until uint64) {
+	if until <= from {
+		return
+	}
+	if l := o.q.Len(); l > o.highWater {
+		o.highWater = l
+	}
 }

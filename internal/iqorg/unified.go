@@ -27,6 +27,11 @@ func (o *Unified) Census() uarch.Census { return o.q.Census() }
 func (o *Unified) CanAccept(int) bool   { return true }
 func (o *Unified) EndCycle(uint64)      {}
 
-func (o *Unified) Select(sched uarch.Scheduler) []*uarch.Uop {
+// NextBoundary and EndCycleSpan: the unified queue keeps no per-cycle
+// policy state, so skipped dead cycles need no bookkeeping and no cap.
+func (o *Unified) NextBoundary(uint64) uint64 { return NoBoundary }
+func (o *Unified) EndCycleSpan(_, _ uint64)   {}
+
+func (o *Unified) Select(sched uarch.Scheduler) []int32 {
 	return o.q.ReadyCandidates(sched)
 }

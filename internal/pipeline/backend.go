@@ -26,11 +26,13 @@ func (p *Processor) dispatch(now uint64) {
 			continue
 		}
 		for width > 0 {
-			u := t.fq.Head()
-			if u == nil || u.DecodeReady > now {
+			// Head gating reads the fetch queue's dense SoA rings; the
+			// uop itself is dereferenced only once dispatch is certain.
+			dr, ok := t.fq.HeadReadyAt()
+			if !ok || dr > now {
 				break
 			}
-			if t.rob.Full() || (u.Kind().IsMem() && t.lsq.Full()) {
+			if t.rob.Full() || (t.fq.HeadIsMem() && t.lsq.Full()) {
 				break
 			}
 			if p.iq.Len() >= iqCap {
@@ -46,7 +48,7 @@ func (p *Processor) dispatch(now uint64) {
 			}
 			// Peek readiness for the waiting-cap check before
 			// committing to dispatch.
-			if p.dec.WaitingCap >= 0 && p.iq.Census().Waiting >= p.dec.WaitingCap && p.wouldWait(t, u) {
+			if p.dec.WaitingCap >= 0 && p.iq.Census().Waiting >= p.dec.WaitingCap && p.wouldWait(t, t.fq.Head()) {
 				break // in-order dispatch: this thread stalls
 			}
 			p.dispatchUop(t, t.fqPop(), now)
@@ -136,13 +138,20 @@ func (p *Processor) iqDrain(u *uarch.Uop) {
 // the LSQ's memory-dependence discipline and access the cache hierarchy;
 // L2 misses are recorded and may request a FLUSH.
 func (p *Processor) issue(now uint64) {
+	// Census was snapshotted after writeback this cycle and nothing touches
+	// the queue in between, so an empty ready set means Select would return
+	// no candidates (Select is side-effect-free in every organization).
+	if p.census.Ready == 0 {
+		return
+	}
 	cands := p.org.Select(p.sched)
 	issued := 0
-	for _, u := range cands {
+	for _, slot := range cands {
 		if issued >= p.cfg.IssueWidth {
 			break
 		}
-		if u.Stage != uarch.StageInIQ {
+		u := p.iq.At(int(slot))
+		if u == nil || u.Stage != uarch.StageInIQ {
 			continue
 		}
 		t := p.threads[u.Thread]
@@ -233,8 +242,17 @@ func (p *Processor) processFlushes(now uint64) {
 // policy counter maintenance and branch-misprediction resolution.
 func (p *Processor) complete(now uint64) {
 	slot := now % wheelSize
+	// The occupancy bit is authoritative (set iff the slot list is
+	// non-empty), so an empty slot costs one word test — no slice header
+	// load, and no store that would drag a GC write barrier into every
+	// quiet cycle.
+	if p.wheelBits[slot/64]>>(slot%64)&1 == 0 {
+		return
+	}
 	list := p.wheel[slot]
 	p.wheel[slot] = list[:0]
+	p.wheelBits[slot/64] &^= 1 << (slot % 64)
+	p.wheelCount -= len(list)
 	for _, u := range list {
 		t := p.threads[u.Thread]
 		// Miss-tracking counters drain even for squashed uops: the
@@ -265,6 +283,9 @@ func (p *Processor) complete(now uint64) {
 			p.pol.pdgTrain(u.Static().PC, u.MissedL1)
 		}
 		u.Stage = uarch.StageCompleted
+		// Mirror the stage into the ROB's completed-flag ring: every
+		// issued, unsquashed uop is resident in its thread's ROB.
+		t.rob.MarkCompleted(u)
 		for _, ref := range u.Dependents() {
 			d := ref.U
 			// A stale generation is a squashed consumer whose
@@ -407,11 +428,12 @@ func (p *Processor) commit(now uint64) {
 	for i := 0; i < p.n && width > 0; i++ {
 		t := p.threads[(start+i)%p.n]
 		for width > 0 {
-			u := t.rob.Head()
-			if u == nil || u.Stage != uarch.StageCompleted {
+			// The completed-flag ring answers the common "head still in
+			// flight" case without touching the uop.
+			if !t.rob.HeadCompleted() {
 				break
 			}
-			p.commitUop(t, u, now)
+			p.commitUop(t, t.rob.Head(), now)
 			width--
 		}
 	}

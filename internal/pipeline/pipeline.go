@@ -73,6 +73,15 @@ type Params struct {
 	// nothing. Overrides are applied after the live controller decides,
 	// so a replayed run re-decides everything else exactly as recorded.
 	Forced decision.Schedule
+	// DisableSkipAhead forces cycle-by-cycle execution even when the run
+	// is eligible for dead-cycle skip-ahead (controller-less, no forced
+	// schedule). Results must be identical either way; the parity tests
+	// pin that.
+	DisableSkipAhead bool
+	// Pool, when non-nil, supplies the uop free list, letting sequential
+	// runs (a sweep worker's cells) share one steady-state allocation.
+	// Safe only for strictly sequential runs; nil allocates a private pool.
+	Pool *uarch.UopPool
 }
 
 // Processor is the simulated SMT core.
@@ -129,12 +138,27 @@ type Processor struct {
 	wheel    [wheelSize][]*uarch.Uop
 	flushReq []*uarch.Uop
 
+	// Wheel occupancy index for skip-ahead: one bit per slot (set iff the
+	// slot's list is non-empty) plus the total in-flight entry count, so
+	// the next completion event is a word scan away instead of a walk.
+	wheelBits  [wheelSize / 64]uint64
+	wheelCount int
+
+	// Dead-cycle skip-ahead (see skip.go). skipOK gates eligibility for
+	// the whole run: no controller, no forced schedule, not disabled.
+	skipOK        bool
+	skippedCycles uint64
+
 	// pool recycles uop allocations; fetch draws from it and commit,
-	// squash and the completion wheel return to it.
-	pool uarch.UopPool
+	// squash and the completion wheel return to it. It may be shared with
+	// other (strictly sequential) runs via Params.Pool.
+	pool *uarch.UopPool
 
 	// fetchCands is the fetch stage's reusable priority scratch.
 	fetchCands [uarch.MaxThreads]fetchCand
+
+	// stepView is Step's reusable controller-view scratch (see Step).
+	stepView View
 
 	// Per-thread IQ ACE-bit attribution (ground truth): current
 	// resident bits and their lazily settled per-cycle integral
@@ -282,6 +306,11 @@ func New(p Params) (*Processor, error) {
 	}
 	proc.invariantEvery = p.InvariantEvery
 	proc.recPrevIQLCap = proc.dec.IQLCap
+	proc.pool = p.Pool
+	if proc.pool == nil {
+		proc.pool = &uarch.UopPool{}
+	}
+	proc.skipOK = p.Controller == nil && len(p.Forced) == 0 && !p.DisableSkipAhead
 	return proc, nil
 }
 
@@ -300,6 +329,12 @@ func (p *Processor) Run() *Results {
 		for p.totalCommits < p.warmup && p.cycle < warmupCycleCap {
 			p.Step()
 			p.maybeCheckInvariants()
+			// Skip only when the loop will continue: once the budget is
+			// met the run must stop at exactly the cycle the stepped
+			// machine would, not at the end of a skipped span.
+			if p.skipOK && p.totalCommits < p.warmup && p.skipAhead(warmupCycleCap) {
+				p.maybeCheckInvariants()
+			}
 		}
 		p.ResetStats()
 	}
@@ -307,6 +342,9 @@ func (p *Processor) Run() *Results {
 	for p.totalCommits < p.maxInstructions && p.cycle < cycleCap {
 		p.Step()
 		p.maybeCheckInvariants()
+		if p.skipOK && p.totalCommits < p.maxInstructions && p.skipAhead(cycleCap) {
+			p.maybeCheckInvariants()
+		}
 	}
 	return p.results()
 }
@@ -357,6 +395,7 @@ func (p *Processor) ResetStats() {
 	p.mem.DTLB.Accesses, p.mem.DTLB.Misses = 0, 0
 	p.bp.Lookups, p.bp.Mispredicts = 0, 0
 	p.squashedTotal, p.squashedTagged = 0, 0
+	p.skippedCycles = 0
 	p.occSum = 0
 	p.iqStatsSettled = p.cycle
 	p.iqThreadAce = [uarch.MaxThreads]uint64{}
@@ -400,12 +439,15 @@ func (p *Processor) Step() {
 	p.commit(now)
 	p.complete(now)
 	p.census = p.iq.Census()
-	var v View
+	// stepView is a Processor-owned scratch: taking the address of a local
+	// here would heap-allocate a View on every cycle (noteDecision's
+	// pointer parameter defeats escape analysis; nothing retains it).
+	v := &p.stepView
 	haveView := false
 	if p.ctrl != nil {
-		v = p.view(now)
+		*v = p.view(now)
 		haveView = true
-		p.dec = p.ctrl.Decide(&v)
+		p.dec = p.ctrl.Decide(v)
 	} else {
 		p.dec = NoDecision()
 	}
@@ -413,7 +455,7 @@ func (p *Processor) Step() {
 	if len(p.forced) > 0 {
 		p.decForced = p.applyForced(now)
 	}
-	p.noteDecision(now, &v, haveView)
+	p.noteDecision(now, v, haveView)
 	p.issue(now)
 	p.processFlushes(now)
 	p.dispatch(now)
@@ -572,8 +614,12 @@ func (p *Processor) closeInterval() {
 func (p *Processor) wheelPush(u *uarch.Uop, now uint64) {
 	d := u.CompleteAt - now
 	if d == 0 || d >= wheelSize {
-		panic(fmt.Sprintf("pipeline: completion delta %d outside wheel", d))
+		panic(fmt.Sprintf(
+			"pipeline: completion delta %d outside wheel (size %d): uop age %d thread %d pc %#x kind %v, CompleteAt %d, now %d",
+			d, wheelSize, u.Age, u.Thread, u.Static().PC, u.Kind(), u.CompleteAt, now))
 	}
 	slot := u.CompleteAt % wheelSize
 	p.wheel[slot] = append(p.wheel[slot], u)
+	p.wheelBits[slot/64] |= 1 << (slot % 64)
+	p.wheelCount++
 }

@@ -32,6 +32,11 @@ type Results struct {
 	Intervals []stats.Interval
 	RQHist    *stats.RQHistogram
 
+	// SkippedCycles counts measured-region cycles advanced by dead-cycle
+	// skip-ahead rather than stepped (they are included in Cycles and in
+	// every per-cycle statistic; this is throughput telemetry only).
+	SkippedCycles uint64
+
 	// Event counts.
 	L2Misses         uint64
 	Mispredicts      uint64
@@ -129,9 +134,10 @@ func (p *Processor) results() *Results {
 
 	cycles := p.cycle - p.statsCycle0
 	r := &Results{
-		Cycles:     cycles,
-		NumThreads: p.n,
-		Commits:    make([]uint64, p.n),
+		Cycles:        cycles,
+		NumThreads:    p.n,
+		Commits:       make([]uint64, p.n),
+		SkippedCycles: p.skippedCycles,
 
 		// Whole-run IQ AVFs report the residual vulnerability after the
 		// protection mode's mitigation (identity for the unprotected

@@ -7,13 +7,26 @@ import (
 )
 
 // fetchQueue is a small FIFO ring of fetched, not-yet-dispatched uops.
+//
+// Two struct-of-arrays rings ride alongside the pointer ring: the head's
+// decode-ready cycle and memory-op flag. Dispatch polls both every cycle
+// for every thread, and while the head is blocked (decode latency, full
+// downstream queues) the dense rings answer without dereferencing the uop.
 type fetchQueue struct {
-	buf  []*uarch.Uop
-	head int
-	len  int
+	buf     []*uarch.Uop
+	readyAt []uint64 // DecodeReady per slot
+	mem     []bool   // Kind().IsMem() per slot
+	head    int
+	len     int
 }
 
-func newFetchQueue(size int) *fetchQueue { return &fetchQueue{buf: make([]*uarch.Uop, size)} }
+func newFetchQueue(size int) *fetchQueue {
+	return &fetchQueue{
+		buf:     make([]*uarch.Uop, size),
+		readyAt: make([]uint64, size),
+		mem:     make([]bool, size),
+	}
+}
 
 func (q *fetchQueue) Len() int   { return q.len }
 func (q *fetchQueue) Full() bool { return q.len == len(q.buf) }
@@ -22,7 +35,10 @@ func (q *fetchQueue) Push(u *uarch.Uop) {
 	if q.Full() {
 		panic("pipeline: fetch queue overflow")
 	}
-	q.buf[(q.head+q.len)%len(q.buf)] = u
+	slot := (q.head + q.len) % len(q.buf)
+	q.buf[slot] = u
+	q.readyAt[slot] = u.DecodeReady
+	q.mem[slot] = u.Kind().IsMem()
 	q.len++
 }
 
@@ -31,6 +47,22 @@ func (q *fetchQueue) Head() *uarch.Uop {
 		return nil
 	}
 	return q.buf[q.head]
+}
+
+// HeadReadyAt returns the head's decode-ready cycle, or ok=false when the
+// queue is empty — the dispatch stage's per-cycle poll, answered from the
+// dense ring.
+func (q *fetchQueue) HeadReadyAt() (uint64, bool) {
+	if q.len == 0 {
+		return 0, false
+	}
+	return q.readyAt[q.head], true
+}
+
+// HeadIsMem reports whether the head is a memory operation (false when
+// empty).
+func (q *fetchQueue) HeadIsMem() bool {
+	return q.len > 0 && q.mem[q.head]
 }
 
 func (q *fetchQueue) Pop() *uarch.Uop {

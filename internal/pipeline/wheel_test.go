@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"testing"
+
+	"visasim/internal/config"
+	"visasim/internal/iqorg"
+	"visasim/internal/isa"
+)
+
+// TestWheelCoversModeledLatencies pins the completion wheel's sizing
+// invariant: the largest completion delta any issued uop can carry — the
+// worst-case data access (DTLB miss + L1D miss + L2 miss to memory) plus
+// the slowest functional-unit latency and the largest protection-mode
+// wakeup adder — must stay strictly inside wheelSize, or wheelPush panics
+// mid-run. Anyone growing a latency or adding a protection mode trips this
+// test before they trip the panic.
+func TestWheelCoversModeledLatencies(t *testing.T) {
+	m := config.Default()
+
+	// Worst-case memory access as the hierarchy models it: a DTLB miss
+	// pays its penalty, then the access misses L1D and L2 and walks to
+	// memory through each level's latency.
+	worstData := m.DTLB.MissPenalty + m.L1D.HitLatency + m.L2.HitLatency + m.MemoryLatency
+
+	maxFU := 0
+	for k := isa.Kind(0); k < isa.Kind(isa.NumKinds); k++ {
+		if l := k.Latency(); l > maxFU {
+			maxFU = l
+		}
+	}
+
+	maxWake := 0
+	for _, p := range iqorg.Protections() {
+		if w := p.Cost().WakeupLatency; w > maxWake {
+			maxWake = w
+		}
+	}
+
+	worst := worstData + maxFU + maxWake
+	if worst >= wheelSize {
+		t.Fatalf("worst-case completion delta %d (data %d + FU %d + wakeup %d) >= wheelSize %d",
+			worst, worstData, maxFU, maxWake, wheelSize)
+	}
+	t.Logf("worst-case completion delta %d of wheelSize %d (data %d, FU %d, wakeup %d)",
+		worst, wheelSize, worstData, maxFU, maxWake)
+}

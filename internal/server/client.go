@@ -83,7 +83,9 @@ type HTTPError struct {
 	Msg string
 	// RetryAfter is the server's back-off hint on a 429 — the
 	// cluster.RetryAfterMsHeader millisecond value when present, else the
-	// Retry-After seconds. Zero when the response carried neither.
+	// Retry-After header in either RFC 7231 form (delta-seconds or an
+	// HTTP-date). Hints are clamped to [0, maxRetryAfter]; zero when the
+	// response carried neither header or the hint was in the past.
 	RetryAfter time.Duration
 }
 
@@ -101,8 +103,44 @@ func (e *HTTPError) Temporary() bool {
 	return e.StatusCode < 400 || e.StatusCode >= 500
 }
 
+// maxRetryAfter caps any server back-off hint. A misconfigured (or hostile)
+// server sending "Retry-After: 99999999999" or a far-future HTTP-date must
+// not park a sweep for years — and naive multiplication of such values by
+// time.Second overflows int64 into a negative Duration, which the Submit
+// back-off loop would treat as "no hint" and hammer the server instead.
+const maxRetryAfter = time.Hour
+
+// clampRetryAfter folds a hint into [0, maxRetryAfter]: negatives (a date in
+// the past, or an overflowed product) mean "retry now", not "never".
+func clampRetryAfter(d time.Duration) time.Duration {
+	switch {
+	case d <= 0:
+		return 0
+	case d > maxRetryAfter:
+		return maxRetryAfter
+	}
+	return d
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 7231 §7.1.3:
+// either delta-seconds or an HTTP-date. Unparseable values yield 0.
+func parseRetryAfter(v string) time.Duration {
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs > int64(maxRetryAfter/time.Second) {
+			return maxRetryAfter
+		}
+		return clampRetryAfter(time.Duration(secs) * time.Second)
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		return clampRetryAfter(time.Until(at))
+	}
+	return 0
+}
+
 // decodeError surfaces the server's JSON error body as an *HTTPError,
-// capturing any back-off hint headers on the way.
+// capturing any back-off hint headers on the way. The millisecond header is
+// preferred (finer grained, set by our own daemons); the standard Retry-After
+// header is honored in both RFC 7231 forms — delta-seconds and HTTP-date.
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	he := &HTTPError{StatusCode: resp.StatusCode, Msg: string(bytes.TrimSpace(body))}
@@ -112,14 +150,15 @@ func decodeError(resp *http.Response) error {
 	}
 	if ms := resp.Header.Get(cluster.RetryAfterMsHeader); ms != "" {
 		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			if v > int64(maxRetryAfter/time.Millisecond) {
+				v = int64(maxRetryAfter / time.Millisecond)
+			}
 			he.RetryAfter = time.Duration(v) * time.Millisecond
 		}
 	}
 	if he.RetryAfter == 0 {
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if v, err := strconv.Atoi(ra); err == nil && v > 0 {
-				he.RetryAfter = time.Duration(v) * time.Second
-			}
+			he.RetryAfter = parseRetryAfter(ra)
 		}
 	}
 	return he

@@ -148,6 +148,16 @@ func (h *RQHistogram) Observe(l, ace int) {
 	h.ACESum[l] += uint64(ace)
 }
 
+// ObserveN records n identical cycles in one update (the pipeline's
+// dead-cycle skip-ahead accounts a whole skipped span at once).
+func (h *RQHistogram) ObserveN(l, ace int, n uint64) {
+	if l >= len(h.Cycles) {
+		l = len(h.Cycles) - 1
+	}
+	h.Cycles[l] += n
+	h.ACESum[l] += uint64(ace) * n
+}
+
 // Frac returns the fraction of cycles with ready-queue length l.
 func (h *RQHistogram) Frac(l int) float64 {
 	total := h.total()

@@ -25,6 +25,34 @@ func (s Scheduler) String() string {
 	return "oldest-first"
 }
 
+// Packed ready-key layout. The ready list is struct-of-arrays state: one
+// uint64 per ready resident packing (age, ACE tag, slot), ordered so a plain
+// integer comparison reproduces age order. Schedulers and the binary
+// insert/remove walk this dense slice without dereferencing a single *Uop —
+// the age lives in the key, the tag bit drives VISA's partition, and the low
+// bits recover the slot index.
+const (
+	// readySlotBits bounds the queue size representable in a packed key.
+	readySlotBits = 10
+	// MaxIQSlots is the largest issue-queue capacity the packed ready
+	// list supports (1024 — far above any modeled configuration).
+	MaxIQSlots    = 1 << readySlotBits
+	readySlotMask = MaxIQSlots - 1
+	readyTagBit   = uint64(1) << readySlotBits
+	readyAgeShift = readySlotBits + 1
+)
+
+// readyKey packs u into its ready-list key. The tag bit sits below the age,
+// so ordering is (age, tag, slot) — identical to pure age order whenever
+// ages are unique, which the pipeline guarantees.
+func readyKey(u *Uop) uint64 {
+	k := u.Age<<readyAgeShift | uint64(u.IQSlot)
+	if u.ACETag {
+		k |= readyTagBit
+	}
+	return k
+}
+
 // IQ is the shared issue queue: a fixed pool of slots holding dispatched,
 // not-yet-issued uops from all threads. The "ready queue" and "waiting
 // queue" of the paper are views over these slots (ready = all operands
@@ -39,14 +67,24 @@ type IQ struct {
 	// cen is maintained incrementally on Insert/Remove/Wake so Census is
 	// O(1); CensusWalk recomputes it from the slots for cross-checking.
 	cen Census
-	// ready holds the ready residents in ascending Age order, maintained
-	// by binary insertion: schedulers read it without scanning or
-	// sorting. Entries with equal ages (possible only outside the
-	// pipeline, whose ages are unique) keep no defined relative order.
-	ready []*Uop
+	// ready holds one packed key (see readyKey) per ready resident in
+	// ascending key order: schedulers read it without scanning, sorting
+	// or pointer-chasing. Entries with equal ages (possible only outside
+	// the pipeline, whose ages are unique) order by (tag, slot).
+	//
+	// Storage is a ring deque (power-of-two capacity, rHead/rLen window)
+	// rather than a shifted slice because the pipeline's access pattern is
+	// end-biased: ages increase monotonically, so a newly ready uop almost
+	// always carries the largest key (O(1) tail append), and oldest-first
+	// issue drains the smallest keys (O(1) head pop). Mid-list operations
+	// shift whichever side is shorter.
+	ready []uint64
+	rMask int // len(ready)-1, a power-of-two mask
+	rHead int // physical index of the logically first (smallest) key
+	rLen  int // live keys
 
-	// candidates is the reusable per-cycle ready list.
-	candidates []*Uop
+	// candidates is the reusable per-cycle ready list of slot indices.
+	candidates []int32
 
 	// highWater is the largest occupancy seen since the last
 	// ResetHighWater — cheap per-stage telemetry (deterministic, so it
@@ -56,11 +94,19 @@ type IQ struct {
 
 // NewIQ returns an issue queue with size slots.
 func NewIQ(size int) *IQ {
+	if size > MaxIQSlots {
+		panic(fmt.Sprintf("uarch: IQ size %d exceeds %d packed-key slots", size, MaxIQSlots))
+	}
+	rcap := 1
+	for rcap < size {
+		rcap <<= 1
+	}
 	q := &IQ{
 		slots:      make([]*Uop, size),
 		free:       make([]int32, size),
-		ready:      make([]*Uop, 0, size),
-		candidates: make([]*Uop, 0, size),
+		ready:      make([]uint64, rcap),
+		rMask:      rcap - 1,
+		candidates: make([]int32, 0, size),
 	}
 	for i := range q.free {
 		q.free[i] = int32(size - 1 - i)
@@ -125,6 +171,13 @@ func (q *IQ) Remove(u *Uop) {
 	if u.IQSlot < 0 || q.slots[u.IQSlot] != u {
 		panic("uarch: IQ remove of non-resident uop")
 	}
+	// The packed ready key encodes the slot, so drop the ready entry
+	// before the slot is released.
+	if u.Ready() {
+		q.readyRemove(u)
+	} else {
+		q.cen.Waiting--
+	}
 	q.free = append(q.free, u.IQSlot)
 	q.slots[u.IQSlot] = nil
 	u.IQSlot = -1
@@ -135,11 +188,6 @@ func (q *IQ) Remove(u *Uop) {
 	}
 	if u.ACETag {
 		q.cen.ResidentTags--
-	}
-	if u.Ready() {
-		q.readyRemove(u)
-	} else {
-		q.cen.Waiting--
 	}
 }
 
@@ -154,7 +202,26 @@ func (q *IQ) Wake(u *Uop) {
 	q.readyAdd(u)
 }
 
-// readyAdd inserts u into the age-ordered ready list and counts it.
+// readyAt returns the key at logical position i (0 = smallest).
+func (q *IQ) readyAt(i int) uint64 { return q.ready[(q.rHead+i)&q.rMask] }
+
+// readySearch returns the logical position of the first key >= k.
+func (q *IQ) readySearch(k uint64) int {
+	lo, hi := 0, q.rLen
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.readyAt(mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// readyAdd inserts u's packed key into the ordered ready list and counts it.
+// The pipeline's monotone ages make the tail append the overwhelmingly
+// common case; a mid-list insert shifts whichever side is shorter.
 func (q *IQ) readyAdd(u *Uop) {
 	q.cen.Ready++
 	if u.ACE {
@@ -163,21 +230,29 @@ func (q *IQ) readyAdd(u *Uop) {
 	if u.ACETag {
 		q.cen.ReadyACETag++
 	}
-	lo, hi := 0, len(q.ready)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if q.ready[mid].Age < u.Age {
-			lo = mid + 1
-		} else {
-			hi = mid
+	k := readyKey(u)
+	lo := q.rLen
+	if lo > 0 && q.readyAt(lo-1) > k {
+		lo = q.readySearch(k)
+	}
+	if 2*lo < q.rLen {
+		q.rHead = (q.rHead - 1) & q.rMask
+		q.rLen++
+		for i := 0; i < lo; i++ {
+			q.ready[(q.rHead+i)&q.rMask] = q.ready[(q.rHead+i+1)&q.rMask]
+		}
+	} else {
+		q.rLen++
+		for i := q.rLen - 1; i > lo; i-- {
+			q.ready[(q.rHead+i)&q.rMask] = q.ready[(q.rHead+i-1)&q.rMask]
 		}
 	}
-	q.ready = append(q.ready, nil)
-	copy(q.ready[lo+1:], q.ready[lo:])
-	q.ready[lo] = u
+	q.ready[(q.rHead+lo)&q.rMask] = k
 }
 
-// readyRemove drops u from the ready list and uncounts it.
+// readyRemove drops u's packed key from the ready list and uncounts it.
+// Keys are unique (the slot is part of the key), so the binary search lands
+// exactly. Oldest-first issue drains the head, which pops in O(1).
 func (q *IQ) readyRemove(u *Uop) {
 	q.cen.Ready--
 	if u.ACE {
@@ -186,28 +261,22 @@ func (q *IQ) readyRemove(u *Uop) {
 	if u.ACETag {
 		q.cen.ReadyACETag--
 	}
-	lo, hi := 0, len(q.ready)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if q.ready[mid].Age < u.Age {
-			lo = mid + 1
-		} else {
-			hi = mid
+	k := readyKey(u)
+	lo := q.readySearch(k)
+	if lo >= q.rLen || q.readyAt(lo) != k {
+		panic("uarch: IQ ready-list remove of absent uop")
+	}
+	if 2*lo < q.rLen {
+		for i := lo; i > 0; i-- {
+			q.ready[(q.rHead+i)&q.rMask] = q.ready[(q.rHead+i-1)&q.rMask]
+		}
+		q.rHead = (q.rHead + 1) & q.rMask
+	} else {
+		for i := lo; i < q.rLen-1; i++ {
+			q.ready[(q.rHead+i)&q.rMask] = q.ready[(q.rHead+i+1)&q.rMask]
 		}
 	}
-	// Equal ages are possible in unit tests; scan the equal-age run for
-	// the identity match.
-	for ; lo < len(q.ready); lo++ {
-		if q.ready[lo] == u {
-			copy(q.ready[lo:], q.ready[lo+1:])
-			q.ready = q.ready[:len(q.ready)-1]
-			return
-		}
-		if q.ready[lo].Age != u.Age {
-			break
-		}
-	}
-	panic("uarch: IQ ready-list remove of absent uop")
+	q.rLen--
 }
 
 // Census counts resident uops: ready vs waiting, and how many of the ready
@@ -257,7 +326,8 @@ func (q *IQ) CensusWalk() Census {
 }
 
 // CheckReady validates the ready list against the slots: every ready
-// resident appears exactly once, in ascending age order (testing aid).
+// resident appears exactly once, in ascending key (age) order, and every
+// packed key reproduces its uop's age, tag and slot (testing aid).
 func (q *IQ) CheckReady() error {
 	want := 0
 	for _, u := range q.slots {
@@ -265,44 +335,53 @@ func (q *IQ) CheckReady() error {
 			want++
 		}
 	}
-	if want != len(q.ready) {
-		return fmt.Errorf("uarch: ready list holds %d uops, walk finds %d", len(q.ready), want)
+	if want != q.rLen {
+		return fmt.Errorf("uarch: ready list holds %d uops, walk finds %d", q.rLen, want)
 	}
-	for i, u := range q.ready {
-		if u.IQSlot < 0 || q.slots[u.IQSlot] != u || !u.Ready() {
+	for i := 0; i < q.rLen; i++ {
+		k := q.readyAt(i)
+		slot := int32(k & readySlotMask)
+		u := q.slots[slot]
+		if u == nil || u.IQSlot != slot || !u.Ready() {
 			return fmt.Errorf("uarch: ready list entry %d is not a ready resident", i)
 		}
-		if i > 0 && q.ready[i-1].Age > u.Age {
+		if k != readyKey(u) {
+			return fmt.Errorf("uarch: ready list entry %d key %#x does not match uop key %#x", i, k, readyKey(u))
+		}
+		if i > 0 && q.readyAt(i-1) > k {
 			return fmt.Errorf("uarch: ready list out of age order at %d", i)
 		}
 	}
 	return nil
 }
 
-// ReadyCandidates fills the scheduler's per-cycle candidate list with all
-// ready resident uops ordered per policy. The returned slice is reused
-// across calls.
+// ReadyCandidates fills the scheduler's per-cycle candidate list with the
+// slot indices of all ready resident uops ordered per policy. The returned
+// slice is reused across calls; resolve an index with At only when the
+// candidate is actually considered.
 //
-// The ready list is already in ascending age order, so the oldest-first
-// policy is a copy and VISA is a stable partition by ACE tag — both
-// reproduce the ordering a (unique-key) sort of the ready set would, with
-// no per-cycle scan or sort.
-func (q *IQ) ReadyCandidates(sched Scheduler) []*Uop {
+// The packed ready list is already in ascending age order, so the
+// oldest-first policy is a copy and VISA is a stable partition by the ACE
+// tag bit carried in each key — both reproduce the ordering a (unique-key)
+// sort of the ready set would, without touching a single uop.
+func (q *IQ) ReadyCandidates(sched Scheduler) []int32 {
 	cands := q.candidates[:0]
 	switch sched {
 	case SchedVISA:
-		for _, u := range q.ready {
-			if u.ACETag {
-				cands = append(cands, u)
+		for i := 0; i < q.rLen; i++ {
+			if k := q.readyAt(i); k&readyTagBit != 0 {
+				cands = append(cands, int32(k&readySlotMask))
 			}
 		}
-		for _, u := range q.ready {
-			if !u.ACETag {
-				cands = append(cands, u)
+		for i := 0; i < q.rLen; i++ {
+			if k := q.readyAt(i); k&readyTagBit == 0 {
+				cands = append(cands, int32(k&readySlotMask))
 			}
 		}
 	default:
-		cands = append(cands, q.ready...)
+		for i := 0; i < q.rLen; i++ {
+			cands = append(cands, int32(q.readyAt(i)&readySlotMask))
+		}
 	}
 	q.candidates = cands
 	return cands

@@ -77,18 +77,37 @@ const (
 
 // CheckLoad determines disposition for load u against its older stores.
 // Newest-matching-store wins for forwarding.
+//
+// A blocked load stays in the ready list and is re-checked every cycle, so
+// the blocking store found by one walk is cached on the load: while that
+// store remains unissued the walk would return LoadBlocked again — every
+// store between the load and the blocker had already issued with a
+// non-matching (and fixed, since addresses come from the oracle stream)
+// address, later pushes are younger than the load, and a squash that removes
+// the blocker necessarily removed the younger load first. The generation
+// stamp detects the blocker's allocation being recycled.
 func (l *LSQ) CheckLoad(u *Uop) LoadDisposition {
+	if b := u.BlockedOn.U; b != nil {
+		if u.BlockedOn.Live() && b.Stage < StageIssued {
+			return LoadBlocked
+		}
+		u.BlockedOn = DepRef{}
+	}
 	word := u.Dyn.Addr &^ 7
 	// Walk from u's slot backwards to the head.
 	idx := int(u.LSQSlot)
 	for idx != l.head {
-		idx = (idx - 1 + len(l.buf)) % len(l.buf)
+		if idx == 0 {
+			idx = len(l.buf)
+		}
+		idx--
 		s := l.buf[idx]
 		if s == nil || s.Kind() != isa.Store {
 			continue
 		}
 		if s.Stage < StageIssued {
 			// Address not yet computed: conservative block.
+			u.BlockedOn = DepRef{U: s, Gen: s.Gen}
 			return LoadBlocked
 		}
 		if s.Dyn.Addr&^7 == word {

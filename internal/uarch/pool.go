@@ -25,7 +25,7 @@ func (p *UopPool) Get() *Uop {
 		p.free = p.free[:n-1]
 		return u
 	}
-	return &Uop{IQSlot: -1, LSQSlot: -1}
+	return &Uop{IQSlot: -1, LSQSlot: -1, ROBSlot: -1}
 }
 
 // Put resets u and returns it to the pool. The caller must guarantee no

@@ -123,7 +123,11 @@ func TestQuickVISAOrderProperty(t *testing.T) {
 		cands := q.ReadyCandidates(SchedVISA)
 		seenUntagged := false
 		var prev *Uop
-		for _, u := range cands {
+		for _, slot := range cands {
+			u := q.At(int(slot))
+			if u == nil {
+				return false
+			}
 			if u.ACETag && seenUntagged {
 				return false
 			}
@@ -138,6 +142,96 @@ func TestQuickVISAOrderProperty(t *testing.T) {
 		return len(cands) == q.Len()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReadyListMatchesReference drives the packed ready list (sorted
+// uint64 keys encoding age, ACE tag and slot) and a naive reference model
+// with identical random insert/wake/remove sequences: after every operation
+// the candidate sets must match the reference exactly, for both schedulers,
+// and the internal CheckReady audit must hold.
+func TestQuickReadyListMatchesReference(t *testing.T) {
+	refOrder := func(ref []*Uop, sched Scheduler) []*Uop {
+		out := append([]*Uop(nil), ref...)
+		// Insertion sort by the scheduler's order: (ACE-tag desc under
+		// VISA) then age ascending — the spec the packed keys implement.
+		less := func(a, b *Uop) bool {
+			if sched == SchedVISA && a.ACETag != b.ACETag {
+				return a.ACETag
+			}
+			return a.Age < b.Age
+		}
+		for i := 1; i < len(out); i++ {
+			u := out[i]
+			j := i
+			for j > 0 && less(u, out[j-1]) {
+				out[j] = out[j-1]
+				j--
+			}
+			out[j] = u
+		}
+		return out
+	}
+	f := func(seed uint64, n uint16, visa bool) bool {
+		sched := SchedOldestFirst
+		if visa {
+			sched = SchedVISA
+		}
+		q := NewIQ(24)
+		src := rng.New(seed)
+		var live []*Uop
+		age := uint64(0)
+		for i := 0; i < int(n%400)+50; i++ {
+			switch {
+			case src.Bool(0.5) && !q.Full():
+				u := mkUop(isa.IntALU, age, int32(src.Intn(4)))
+				age++
+				u.ACETag = src.Bool(0.4)
+				if src.Bool(0.4) {
+					u.SrcPending = 1
+				}
+				q.Insert(u)
+				live = append(live, u)
+			case src.Bool(0.5):
+				// Wake a random waiting uop.
+				for _, u := range live {
+					if u.SrcPending > 0 {
+						u.SrcPending = 0
+						q.Wake(u)
+						break
+					}
+				}
+			case len(live) > 0:
+				idx := src.Intn(len(live))
+				u := live[idx]
+				q.Remove(u)
+				live = append(live[:idx], live[idx+1:]...)
+			}
+			if err := q.CheckReady(); err != nil {
+				t.Logf("CheckReady: %v", err)
+				return false
+			}
+			var ready []*Uop
+			for _, u := range live {
+				if u.Ready() {
+					ready = append(ready, u)
+				}
+			}
+			want := refOrder(ready, sched)
+			got := q.ReadyCandidates(sched)
+			if len(got) != len(want) {
+				return false
+			}
+			for i, slot := range got {
+				if q.At(int(slot)) != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -3,15 +3,21 @@ package uarch
 // ROB is one thread's reorder buffer: a FIFO ring of in-flight uops in
 // program (fetch) order. Dispatch appends at the tail; commit pops from the
 // head; squash truncates the tail back to a branch.
+//
+// Alongside the uop ring it keeps a parallel completed-flag ring
+// (struct-of-arrays): commit polls the head flag every cycle, and reading
+// one dense bool beats dereferencing the head uop just to look at its
+// stage — the common case is "head not completed yet".
 type ROB struct {
-	buf  []*Uop
-	head int
-	len  int
+	buf       []*Uop
+	completed []bool
+	head      int
+	len       int
 }
 
 // NewROB returns a reorder buffer with size entries.
 func NewROB(size int) *ROB {
-	return &ROB{buf: make([]*Uop, size)}
+	return &ROB{buf: make([]*Uop, size), completed: make([]bool, size)}
 }
 
 // Size returns the capacity.
@@ -26,12 +32,15 @@ func (r *ROB) Full() bool { return r.len == len(r.buf) }
 // Empty reports whether the buffer holds nothing.
 func (r *ROB) Empty() bool { return r.len == 0 }
 
-// Push appends u at the tail. It panics when full.
+// Push appends u at the tail and records its slot. It panics when full.
 func (r *ROB) Push(u *Uop) {
 	if r.Full() {
 		panic("uarch: ROB push into full buffer")
 	}
-	r.buf[(r.head+r.len)%len(r.buf)] = u
+	slot := (r.head + r.len) % len(r.buf)
+	r.buf[slot] = u
+	r.completed[slot] = false
+	u.ROBSlot = int32(slot)
 	r.len++
 }
 
@@ -43,6 +52,22 @@ func (r *ROB) Head() *Uop {
 	return r.buf[r.head]
 }
 
+// HeadCompleted reports whether the buffer is nonempty and its oldest uop
+// has completed — the commit stage's per-cycle poll, answered from the
+// dense flag ring.
+func (r *ROB) HeadCompleted() bool {
+	return r.len > 0 && r.completed[r.head]
+}
+
+// MarkCompleted sets u's completed flag; writeback calls it when u's stage
+// advances to StageCompleted while resident.
+func (r *ROB) MarkCompleted(u *Uop) {
+	if u.ROBSlot < 0 || r.buf[u.ROBSlot] != u {
+		panic("uarch: ROB completion mark for non-resident uop")
+	}
+	r.completed[u.ROBSlot] = true
+}
+
 // Pop removes and returns the oldest uop. It panics when empty.
 func (r *ROB) Pop() *Uop {
 	if r.len == 0 {
@@ -50,6 +75,8 @@ func (r *ROB) Pop() *Uop {
 	}
 	u := r.buf[r.head]
 	r.buf[r.head] = nil
+	r.completed[r.head] = false
+	u.ROBSlot = -1
 	r.head = (r.head + 1) % len(r.buf)
 	r.len--
 	return u
@@ -72,6 +99,8 @@ func (r *ROB) PopTail() *Uop {
 	i := (r.head + r.len - 1) % len(r.buf)
 	u := r.buf[i]
 	r.buf[i] = nil
+	r.completed[i] = false
+	u.ROBSlot = -1
 	r.len--
 	return u
 }

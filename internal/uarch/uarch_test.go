@@ -97,7 +97,7 @@ func TestSchedulerOldestFirst(t *testing.T) {
 	}
 	cands := q.ReadyCandidates(SchedOldestFirst)
 	for i := 1; i < len(cands); i++ {
-		if cands[i].Age < cands[i-1].Age {
+		if q.At(int(cands[i])).Age < q.At(int(cands[i-1])).Age {
 			t.Fatal("not age ordered")
 		}
 	}
@@ -120,8 +120,9 @@ func TestSchedulerVISA(t *testing.T) {
 		tag bool
 	}{{2, true}, {4, true}, {1, false}, {3, false}}
 	for i, w := range want {
-		if cands[i].Age != w.age || cands[i].ACETag != w.tag {
-			t.Fatalf("slot %d: age=%d tag=%v", i, cands[i].Age, cands[i].ACETag)
+		u := q.At(int(cands[i]))
+		if u.Age != w.age || u.ACETag != w.tag {
+			t.Fatalf("slot %d: age=%d tag=%v", i, u.Age, u.ACETag)
 		}
 	}
 }
@@ -132,7 +133,7 @@ func TestSchedulerSkipsWaiting(t *testing.T) {
 	w.SrcPending = 2
 	q.Insert(w)
 	q.Insert(mkUop(isa.IntALU, 1, 0))
-	if cands := q.ReadyCandidates(SchedOldestFirst); len(cands) != 1 || cands[0].Age != 1 {
+	if cands := q.ReadyCandidates(SchedOldestFirst); len(cands) != 1 || q.At(int(cands[0])).Age != 1 {
 		t.Fatal("waiting uop in candidate list")
 	}
 }

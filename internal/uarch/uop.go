@@ -82,6 +82,13 @@ type Uop struct {
 
 	IQSlot  int32 // slot index while StageInIQ, else -1
 	LSQSlot int32 // slot index while occupying the LSQ, else -1
+	ROBSlot int32 // slot index while resident in the ROB, else -1
+
+	// BlockedOn caches the older same-thread store that last blocked this
+	// load in LSQ.CheckLoad (generation-stamped, like a dependents entry).
+	// While that store remains unissued the disposition provably cannot
+	// change, so re-checks skip the LSQ walk. Zero when not known-blocked.
+	BlockedOn DepRef
 
 	// PrevWriter is the previous rename-map entry for Dyn.Static.Dest,
 	// used to repair the map when this uop is squashed.
@@ -146,7 +153,7 @@ func (u *Uop) ClearDependents() { u.dependents = u.dependents[:0] }
 func (u *Uop) Reset() {
 	deps := u.dependents[:0]
 	gen := u.Gen + 1
-	*u = Uop{Gen: gen, IQSlot: -1, LSQSlot: -1, dependents: deps}
+	*u = Uop{Gen: gen, IQSlot: -1, LSQSlot: -1, ROBSlot: -1, dependents: deps}
 }
 
 // IQResidency returns the cycles this uop spent in the issue queue, given
